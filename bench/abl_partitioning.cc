@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Ablation for Section 4.1: global vs per-set cache partitioning.
+ * The paper rejects the global modified-LRU scheme because the
+ * per-set distribution of a job's blocks drifts with co-runner
+ * behaviour, producing run-to-run miss-rate variation; the per-set
+ * scheme converges every set to the target and behaves uniformly.
+ *
+ * This bench co-schedules bzip2 with different co-runners and seeds
+ * under both schemes and reports, per scheme: the spread of bzip2's
+ * miss rate across runs and the per-set occupancy spread.
+ */
+
+#include "bench/harness.hh"
+#include "sim/simulation.hh"
+
+namespace
+{
+
+using namespace cmpqos;
+
+struct RunStats
+{
+    double missRate;
+    double occupancySpread;
+};
+
+RunStats
+runPair(PartitionScheme scheme, const char *co_runner,
+        std::uint64_t seed, InstCount instr)
+{
+    CmpConfig cfg;
+    cfg.scheme = scheme;
+    cfg.chunkInstructions = 25'000;
+    CmpSystem sys(cfg);
+    Simulation sim(sys);
+    sys.l2().setTargetWays(0, 7);
+    sys.l2().setCoreClass(0, CoreClass::Reserved);
+    sys.l2().setTargetWays(1, 7);
+    sys.l2().setCoreClass(1, CoreClass::Reserved);
+
+    JobExecution subject(0, BenchmarkRegistry::get("bzip2"), instr,
+                         seed);
+    JobExecution partner(1, BenchmarkRegistry::get(co_runner),
+                         instr * 3, seed + 101);
+    sim.startJobOn(0, &subject);
+    sim.startJobOn(1, &partner);
+    // Stop when the subject finishes.
+    sim.setCompletionHandler([&](JobExecution *e) {
+        if (e == &subject)
+            sim.requestStop();
+    });
+    sim.run();
+    return {subject.missRate(), sys.l2().perSetOccupancySpread(0)};
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace cmpqos;
+    using cmpqos::stats::TablePrinter;
+
+    bench::printHeader(
+        "Ablation: global vs per-set partitioning stability",
+        "Section 4.1 (why the paper adopts per-set partitioning)");
+
+    const InstCount instr =
+        std::max<InstCount>(bench::jobInstructions() / 4, 5'000'000);
+    const char *partners[] = {"gobmk", "mcf", "libquantum", "hmmer"};
+
+    TablePrinter t("bzip2 (7 ways) with varying co-runners and seeds");
+    t.header({"scheme", "co-runner", "seed", "bzip2 miss rate",
+              "per-set occupancy spread"});
+
+    for (const PartitionScheme scheme :
+         {PartitionScheme::Global, PartitionScheme::PerSet}) {
+        double mn = 1.0, mx = 0.0;
+        for (const char *partner : partners) {
+            for (std::uint64_t seed : {11ull, 22ull}) {
+                const auto r = runPair(scheme, partner, seed, instr);
+                mn = std::min(mn, r.missRate);
+                mx = std::max(mx, r.missRate);
+                t.row({partitionSchemeName(scheme), partner,
+                       std::to_string(seed),
+                       TablePrinter::fmtPercent(r.missRate * 100.0, 2),
+                       TablePrinter::fmt(r.occupancySpread, 3)});
+            }
+        }
+        t.row({partitionSchemeName(scheme), "=> range", "",
+               TablePrinter::fmtPercent((mx - mn) * 100.0, 2), ""});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper shape: the per-set scheme's miss rate is"
+                 " essentially independent of\nthe co-runner (tight"
+                 " range, near-zero occupancy spread); the global"
+                 " scheme's\nvaries across runs — the motivation for"
+                 " adopting per-set partitioning.\n";
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Extension bench: off-chip bandwidth partitioning — the RUM
+ * dimension the paper defers to future work (Section 3.2) and the
+ * gap it notes between its cache-only framework and Virtual Private
+ * Caches [15] (the EqualPart configuration explicitly mimics VPC
+ * "without bandwidth partitioning").
+ *
+ * A latency-sensitive mcf holds a 7-way cache reservation while 0-3
+ * streaming libquantum jobs hammer the bus. Cache partitioning alone
+ * cannot stop them from inflating mcf's miss *latency*; a guaranteed
+ * bandwidth share restores it.
+ */
+
+#include "bench/harness.hh"
+
+namespace
+{
+
+using namespace cmpqos;
+
+double
+runScenario(int hogs, bool partitioned, InstCount instr)
+{
+    FrameworkConfig fc;
+    fc.cmp.chunkInstructions = 20'000;
+    fc.cmp.bandwidthPartitioning = partitioned;
+    QosFramework fw(fc);
+
+    JobRequest subject;
+    subject.benchmark = "mcf";
+    subject.mode = ModeSpec::strict();
+    subject.ways = 7;
+    subject.bandwidthPercent = partitioned ? 45 : 0;
+    subject.deadlineFactor = 4.0;
+    Job *job = fw.submitJob(subject, instr);
+    if (job == nullptr)
+        return -1.0;
+
+    for (int i = 0; i < hogs; ++i) {
+        JobRequest hog;
+        hog.benchmark = "libquantum";
+        hog.mode = ModeSpec::opportunistic();
+        hog.deadlineFactor = 8.0;
+        fw.submitJob(hog, instr * 2);
+    }
+    fw.runToCompletion();
+    return job->exec()->cpi();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace cmpqos;
+    using cmpqos::stats::TablePrinter;
+
+    bench::printHeader(
+        "Extension: off-chip bandwidth partitioning",
+        "Section 3.2 future work / VPC [15] comparison gap");
+
+    const InstCount instr =
+        std::max<InstCount>(bench::jobInstructions() / 4, 4'000'000);
+
+    TablePrinter t("mcf (7-way cache reservation) vs streaming hogs");
+    t.header({"co-running hogs", "CPI shared bus",
+              "CPI with 45% bandwidth share", "slowdown avoided"});
+
+    for (int hogs = 0; hogs <= 3; ++hogs) {
+        const double shared = runScenario(hogs, false, instr);
+        const double insulated = runScenario(hogs, true, instr);
+        t.row({std::to_string(hogs), TablePrinter::fmt(shared, 2),
+               TablePrinter::fmt(insulated, 2),
+               TablePrinter::fmtPercent(
+                   (shared / insulated - 1.0) * 100.0, 1)});
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nCache-only QoS (the paper's framework) leaves the"
+           " reserved job's miss\nlatency exposed to bus contention;"
+           " a guaranteed bandwidth share — the\nextension dimension"
+           " in this library's ResourceVector — closes the gap,\n"
+           "completing the VPC-style combination of cache + memory"
+           " policies.\n";
+    return 0;
+}

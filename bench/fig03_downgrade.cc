@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Figure 3 reproduction: the manual mode-downgrade illustration.
+ * Six jobs are submitted back-to-back; each requests ~40% of the
+ * shared cache (7 of 16 ways) and has a deadline 1.5T after
+ * acceptance, where T is its Strict-mode execution time.
+ *
+ *  (a) all six Strict           -> two at a time, ~3T total
+ *  (b) jobs 3 and 6 Opportunistic -> more parallelism, ~2.5T total
+ *  (c) plus jobs 2 and 5 Elastic(X) -> resource stealing feeds the
+ *      Opportunistic jobs, finishing earlier still
+ *
+ * The bench runs all three scenarios through the real framework and
+ * prints each job's start/completion (in units of T) plus the total.
+ */
+
+#include <algorithm>
+#include <array>
+
+#include "bench/harness.hh"
+
+namespace
+{
+
+using namespace cmpqos;
+
+struct Scenario
+{
+    const char *name;
+    std::array<ModeSpec, 6> modes;
+};
+
+} // namespace
+
+int
+main()
+{
+    using namespace cmpqos;
+    using cmpqos::stats::TablePrinter;
+
+    bench::printHeader("Figure 3: impact of manual mode downgrade",
+                       "Section 3.4, Figure 3 (a)-(c)");
+
+    // A moderately cache-hungry synthetic job: ~40% of the cache
+    // gives it its full speed (the figure's abstract 'job').
+    const InstCount instr =
+        std::max<InstCount>(bench::jobInstructions() / 6, 3'000'000);
+
+    const Scenario scenarios[] = {
+        {"(a) all Strict",
+         {ModeSpec::strict(), ModeSpec::strict(), ModeSpec::strict(),
+          ModeSpec::strict(), ModeSpec::strict(), ModeSpec::strict()}},
+        {"(b) 3,6 Opportunistic",
+         {ModeSpec::strict(), ModeSpec::strict(),
+          ModeSpec::opportunistic(), ModeSpec::strict(),
+          ModeSpec::strict(), ModeSpec::opportunistic()}},
+        {"(c) 2,5 Elastic(20%), 3,6 Opportunistic",
+         {ModeSpec::strict(), ModeSpec::elastic(0.20),
+          ModeSpec::opportunistic(), ModeSpec::strict(),
+          ModeSpec::elastic(0.20), ModeSpec::opportunistic()}},
+    };
+
+    double t_unit = 0.0; // strict-mode execution time, measured in (a)
+
+    for (const auto &sc : scenarios) {
+        FrameworkConfig fc;
+        fc.stealing.intervalInstructions =
+            std::max<InstCount>(instr / 60, 50'000);
+        QosFramework fw(fc);
+
+        // The figure's jobs are submitted sequentially: Strict pairs
+        // arrive as capacity frees (at ~0, T, 2T), Opportunistic jobs
+        // arrive up front and soak up the fragmented resources.
+        const Cycle t_estimate =
+            fw.maxWallClockFor(
+                [] {
+                    JobRequest r;
+                    r.benchmark = "soplex";
+                    return r;
+                }(),
+                instr);
+        std::vector<Job *> jobs;
+        int strict_seen = 0;
+        for (int i = 0; i < 6; ++i) {
+            JobRequest r;
+            r.benchmark = "soplex"; // hungry enough to need its ways
+            r.mode = sc.modes[static_cast<std::size_t>(i)];
+            // The figure's deadline is 1.5T; jobs users downgrade to
+            // Opportunistic are ones "whose deadlines are still far
+            // away" (Section 3.3) — they trade the guarantee away.
+            r.deadlineFactor =
+                r.mode.mode == ExecutionMode::Opportunistic ? 3.0
+                                                            : 1.5;
+            Cycle when = 0;
+            if (r.mode.mode != ExecutionMode::Opportunistic) {
+                when = static_cast<Cycle>(strict_seen / 2) *
+                       (t_estimate * 95 / 100);
+                ++strict_seen;
+            }
+            fw.simulation().schedule(when, [&fw, r, instr, &jobs]() {
+                Job *j = fw.submitJob(r, instr);
+                if (j != nullptr)
+                    jobs.push_back(j);
+            });
+        }
+        fw.runToCompletion();
+        std::sort(jobs.begin(), jobs.end(),
+                  [](const Job *a, const Job *b) {
+                      return a->id() < b->id();
+                  });
+
+        if (t_unit == 0.0 && !jobs.empty())
+            t_unit = jobs[0]->wallClock(); // T from scenario (a)
+
+        TablePrinter t(sc.name);
+        t.header({"job", "mode", "start(T)", "end(T)", "wallclk(T)",
+                  "deadline met"});
+        double total = 0.0;
+        for (Job *j : jobs) {
+            total = std::max(total, j->exec()->endCycle);
+            t.row({std::to_string(j->id() + 1),
+                   executionModeName(j->mode().mode),
+                   TablePrinter::fmt(j->exec()->startCycle / t_unit, 2),
+                   TablePrinter::fmt(j->exec()->endCycle / t_unit, 2),
+                   TablePrinter::fmt(j->wallClock() / t_unit, 2),
+                   j->deadlineMet() ? "yes" : "NO"});
+        }
+        t.print(std::cout);
+        std::cout << "accepted jobs: " << jobs.size() << " of 6"
+                  << ", all complete at "
+                  << TablePrinter::fmt(total / t_unit, 2) << " T\n\n";
+    }
+
+    std::cout << "Paper shape: (a) completes ~3T with only two jobs at"
+                 " a time; (b) ~2.5T\nbecause Opportunistic jobs use"
+                 " the fragmented resources; in (c) resource\nstealing"
+                 " from the Elastic jobs speeds the Opportunistic jobs"
+                 " up further\n(the makespan itself stays gated by the"
+                 " last reserved pair).\n";
+    return 0;
+}

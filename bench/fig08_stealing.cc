@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Figure 8 reproduction: the impact of the Elastic(X) slack amount in
+ * the Hybrid-2 bzip2 workload —
+ *  (a) the Elastic jobs' realized L2 miss-rate increase (should track
+ *      the slack bound X) and their CPI increase (should run at
+ *      roughly one third to one half of the miss-rate increase), and
+ *  (b) the average wall-clock time of Opportunistic jobs (decreasing
+ *      in X with diminishing returns).
+ */
+
+#include "bench/harness.hh"
+
+int
+main()
+{
+    using namespace cmpqos;
+    using cmpqos::bench::benchFrameworkConfig;
+    using cmpqos::stats::TablePrinter;
+
+    bench::printHeader(
+        "Figure 8: Elastic(X) slack sweep in Hybrid-2 (bzip2)",
+        "Section 7.3, Figure 8(a)/(b)");
+
+    const double slacks[] = {0.02, 0.05, 0.10, 0.15, 0.20};
+
+    // Workload builder: Hybrid-2 with the Elastic slack overridden.
+    // An Elastic(X) reservation spans tw*(1+X); a tight 1.05tw
+    // deadline cannot admit X > 5%, so Elastic jobs get deadlines
+    // that accommodate the slack (a user requesting more slack
+    // implicitly accepts later completion).
+    auto make_spec = [&](double x) {
+        auto spec = makeSingleBenchmarkWorkload(
+            ModeConfig::Hybrid2, "bzip2", bench::jobsPerWorkload(),
+            bench::jobInstructions(), bench::workloadSeed());
+        for (auto &r : spec.jobs) {
+            if (r.mode.mode == ExecutionMode::Elastic) {
+                r.mode.slack = x;
+                r.deadlineFactor =
+                    std::max(r.deadlineFactor, (1.0 + x) * 1.05);
+            }
+        }
+        return spec;
+    };
+
+    struct Row
+    {
+        double missInc = 0.0;
+        double elasticCpi = 0.0;
+        double oppWallClock = 0.0;
+        int cancels = 0;
+    };
+    auto summarize = [](const WorkloadResult &res) {
+        Row row;
+        int el_n = 0, opp_n = 0;
+        for (const auto &j : res.jobs) {
+            if (j.mode == ExecutionMode::Elastic) {
+                row.missInc += j.observedMissIncrease;
+                row.elasticCpi += j.cpi;
+                row.cancels += j.stealingCancelled;
+                ++el_n;
+            } else if (j.mode == ExecutionMode::Opportunistic) {
+                row.oppWallClock += j.wallClock;
+                ++opp_n;
+            }
+        }
+        row.missInc /= std::max(el_n, 1);
+        row.elasticCpi /= std::max(el_n, 1);
+        row.oppWallClock /= std::max(opp_n, 1);
+        return row;
+    };
+
+    // Baseline: identical workload with resource stealing disabled.
+    Row base;
+    {
+        FrameworkConfig fc = benchFrameworkConfig(ModeConfig::Hybrid2);
+        fc.stealing.enabled = false;
+        QosFramework fw(fc);
+        base = summarize(fw.runWorkload(make_spec(0.05)));
+    }
+
+    TablePrinter t("slack sweep (baseline: stealing disabled)");
+    t.header({"X", "elastic miss incr", "elastic CPI incr",
+              "CPI/miss ratio", "opp avg wallclock", "opp speedup",
+              "cancelled jobs"});
+    t.row({"off", "0.0%", "0.0%", "-",
+           TablePrinter::fmt(base.oppWallClock / 1e6, 1) + "M", "0.0%",
+           "0"});
+
+    for (const double x : slacks) {
+        QosFramework fw(benchFrameworkConfig(ModeConfig::Hybrid2));
+        const Row row = summarize(fw.runWorkload(make_spec(x)));
+        const double cpi_inc =
+            (row.elasticCpi - base.elasticCpi) / base.elasticCpi;
+        t.row({TablePrinter::fmtPercent(x * 100.0, 0),
+               TablePrinter::fmtPercent(row.missInc * 100.0, 1),
+               TablePrinter::fmtPercent(cpi_inc * 100.0, 1),
+               row.missInc > 0.001
+                   ? TablePrinter::fmt(cpi_inc / row.missInc, 2)
+                   : "-",
+               TablePrinter::fmt(row.oppWallClock / 1e6, 1) + "M",
+               TablePrinter::fmtPercent(
+                   (base.oppWallClock / row.oppWallClock - 1.0) * 100.0,
+                   1),
+               std::to_string(row.cancels)});
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nPaper shape: (a) realized miss increase tracks the slack"
+           " bound; CPI\nincrease runs at ~1/3-1/2 of it (the additive-"
+           "CPI safety property).\n(b) Opportunistic wall-clock falls"
+           " with X but with diminishing returns\n(X=5% already buys"
+           " most of the recoverable capacity).\n";
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/per-table benchmark harnesses.
+ *
+ * Each bench binary reproduces one table or figure from the paper:
+ * it runs the relevant workloads and prints the same rows/series the
+ * paper reports (plus the paper's reference values where they are
+ * stated). Scale knobs come from the environment:
+ *
+ *   CMPQOS_JOB_INSTR  instructions per job   (default 30,000,000)
+ *   CMPQOS_JOBS       accepted jobs/workload (default 10, as in the
+ *                     paper)
+ *   CMPQOS_SEED       workload seed          (default 1)
+ *
+ * The paper simulates 200M-instruction jobs on Simics; the scaled
+ * default keeps every bench in the seconds range while preserving the
+ * shapes (see DESIGN.md).
+ */
+
+#ifndef CMPQOS_BENCH_HARNESS_HH
+#define CMPQOS_BENCH_HARNESS_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "qos/framework.hh"
+#include "qos/workload_spec.hh"
+#include "stats/table.hh"
+
+namespace cmpqos::bench
+{
+
+inline std::uint64_t
+envOr(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    return v == nullptr ? fallback : std::strtoull(v, nullptr, 10);
+}
+
+inline InstCount
+jobInstructions()
+{
+    return envOr("CMPQOS_JOB_INSTR", 30'000'000);
+}
+
+inline std::size_t
+jobsPerWorkload()
+{
+    return static_cast<std::size_t>(envOr("CMPQOS_JOBS", 10));
+}
+
+inline std::uint64_t
+workloadSeed()
+{
+    return envOr("CMPQOS_SEED", 1);
+}
+
+/** Framework config tuned for bench runs (paper parameters). */
+inline FrameworkConfig
+benchFrameworkConfig(ModeConfig config)
+{
+    FrameworkConfig fc = FrameworkConfig::forModeConfig(config);
+    // Paper: repartitioning every 2M Elastic-job instructions; scale
+    // with job length so short runs still repartition ~15 times.
+    const InstCount instr = jobInstructions();
+    fc.stealing.intervalInstructions =
+        std::max<InstCount>(instr / 100, 100'000);
+    return fc;
+}
+
+/** Run one Table 2 configuration on a single-benchmark workload. */
+inline WorkloadResult
+runSingle(ModeConfig config, const std::string &benchmark)
+{
+    QosFramework fw(benchFrameworkConfig(config));
+    return fw.runWorkload(makeSingleBenchmarkWorkload(
+        config, benchmark, jobsPerWorkload(), jobInstructions(),
+        workloadSeed()));
+}
+
+/** Run one Table 2 configuration on a Table 3 mixed workload. */
+inline WorkloadResult
+runMixed(ModeConfig config, MixType mix)
+{
+    QosFramework fw(benchFrameworkConfig(config));
+    return fw.runWorkload(makeMixedWorkload(config, mix,
+                                            jobsPerWorkload(),
+                                            jobInstructions(),
+                                            workloadSeed()));
+}
+
+inline void
+printHeader(const std::string &title, const std::string &paper_ref)
+{
+    std::cout << "\n################################################\n"
+              << "# " << title << "\n"
+              << "# Paper reference: " << paper_ref << "\n"
+              << "# job_instr=" << jobInstructions()
+              << " jobs=" << jobsPerWorkload()
+              << " seed=" << workloadSeed() << "\n"
+              << "################################################\n";
+}
+
+} // namespace cmpqos::bench
+
+#endif // CMPQOS_BENCH_HARNESS_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Virtualization scenario (Section 1): a VMM hosts several virtual
+ * machines on one CMP. A critical VM (e.g., a production database)
+ * gets a Strict reservation; a reporting VM tolerates some slowdown
+ * and runs Elastic(5%); two best-effort developer VMs run
+ * Opportunistic. The VMM uses the QoS framework to allocate cores
+ * and shared-cache capacity to VMs by importance.
+ *
+ * The example runs the consolidation twice — once on the QoS CMP and
+ * once on a no-QoS EqualPart CMP — and compares the critical VM's
+ * performance stability (the paper's performance-variation problem).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "qos/framework.hh"
+
+using namespace cmpqos;
+
+namespace
+{
+
+struct VmSpec
+{
+    const char *name;
+    const char *benchmark;
+    ModeSpec mode;
+    unsigned ways;
+};
+
+double
+runConsolidation(SystemPolicy policy, double &critical_wallclock)
+{
+    FrameworkConfig config;
+    config.policy = policy;
+    QosFramework vmm(config);
+
+    const VmSpec vms[] = {
+        {"prod-db", "mcf", ModeSpec::strict(), 8},
+        {"reporting", "hmmer", ModeSpec::elastic(0.05), 6},
+        {"dev-1", "gobmk", ModeSpec::opportunistic(), 7},
+        {"dev-2", "bzip2", ModeSpec::opportunistic(), 7},
+    };
+    const InstCount vm_work = 6'000'000;
+
+    std::vector<std::pair<const VmSpec *, Job *>> placed;
+    for (const auto &vm : vms) {
+        JobRequest r;
+        r.benchmark = vm.benchmark;
+        r.mode = vm.mode;
+        r.ways = vm.ways;
+        r.deadlineFactor = 2.5;
+        Job *job = vmm.submitJob(r, vm_work);
+        placed.emplace_back(&vm, job);
+    }
+    vmm.runToCompletion();
+
+    const char *label =
+        policy == SystemPolicy::Qos ? "QoS CMP" : "EqualPart CMP";
+    std::printf("\n%s:\n", label);
+    double makespan = 0.0;
+    for (const auto &[vm, job] : placed) {
+        if (job == nullptr) {
+            std::printf("  %-9s REJECTED\n", vm->name);
+            continue;
+        }
+        makespan = std::max(makespan, job->exec()->endCycle);
+        std::printf("  %-9s (%-5s %-13s) wall-clock %6.1fM  IPC %.3f"
+                    "  deadline %s\n",
+                    vm->name, job->benchmark().c_str(),
+                    executionModeName(job->mode().mode),
+                    job->wallClock() / 1e6,
+                    1.0 / job->exec()->cpi(),
+                    job->deadlineMet() ? "met" : "MISSED");
+        if (std::string(vm->name) == "prod-db")
+            critical_wallclock = job->wallClock();
+    }
+    return makespan;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::puts("VMM consolidation: 4 VMs on one 4-core CMP node");
+
+    double critical_qos = 0.0, critical_equal = 0.0;
+    const double makespan_qos =
+        runConsolidation(SystemPolicy::Qos, critical_qos);
+    const double makespan_equal =
+        runConsolidation(SystemPolicy::EqualPart, critical_equal);
+
+    std::printf("\ncritical VM slowdown without QoS: %.1f%%"
+                " (wall-clock %0.1fM -> %0.1fM cycles)\n",
+                (critical_equal / critical_qos - 1.0) * 100.0,
+                critical_qos / 1e6, critical_equal / 1e6);
+    std::printf("total makespan: QoS %.1fM vs EqualPart %.1fM cycles\n",
+                makespan_qos / 1e6, makespan_equal / 1e6);
+    std::puts("\nWith QoS, the critical VM's reservation isolates it"
+              " from the co-hosted\nVMs; on the non-QoS CMP it"
+              " time-shares a quarter of the cache and slows\ndown —"
+              " the performance-variation problem the paper opens"
+              " with.");
+    return 0;
+}

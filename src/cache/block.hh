@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The per-block metadata kept by all tag arrays.
+ */
+
+#ifndef CMPQOS_CACHE_BLOCK_HH
+#define CMPQOS_CACHE_BLOCK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace cmpqos
+{
+
+/**
+ * One cache block's tag-array entry. The "tag" stored here is the
+ * full block address (address / blockSize), which uniquely identifies
+ * the block regardless of indexing; this keeps lookup logic simple in
+ * a functional simulator.
+ */
+struct CacheBlock
+{
+    Addr blockAddr = 0;
+    bool valid = false;
+    bool dirty = false;
+    /** Core that owns (brought in) this block; drives partitioning. */
+    CoreId owner = invalidCore;
+    /** Monotonic recency stamp; larger = more recently used. */
+    std::uint64_t lruStamp = 0;
+
+    void
+    invalidate()
+    {
+        valid = false;
+        dirty = false;
+        owner = invalidCore;
+        lruStamp = 0;
+    }
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_CACHE_BLOCK_HH

@@ -1,0 +1,131 @@
+#include "cache.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace cmpqos
+{
+
+SetAssocCache::SetAssocCache(const CacheConfig &config) : config_(config)
+{
+    config_.validate();
+    blockShift_ = floorLog2(config_.blockSize);
+    setMask_ = config_.numSets() - 1;
+    blocks_.resize(config_.numBlocks());
+}
+
+int
+SetAssocCache::findWay(std::uint64_t set, Addr block_addr) const
+{
+    const CacheBlock *base = setBase(set);
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        if (base[w].valid && base[w].blockAddr == block_addr)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+unsigned
+SetAssocCache::victimWay(std::uint64_t set) const
+{
+    const CacheBlock *base = setBase(set);
+    unsigned victim = 0;
+    std::uint64_t best = ~0ULL;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        if (!base[w].valid)
+            return w;
+        if (base[w].lruStamp < best) {
+            best = base[w].lruStamp;
+            victim = w;
+        }
+    }
+    return victim;
+}
+
+AccessResult
+SetAssocCache::access(Addr addr, bool is_write)
+{
+    ++accesses_;
+    const Addr block_addr = blockAddrOf(addr);
+    const std::uint64_t set = setIndexOf(block_addr);
+    CacheBlock *base = setBase(set);
+
+    AccessResult result;
+    int way = findWay(set, block_addr);
+    if (way >= 0) {
+        result.hit = true;
+        base[way].lruStamp = nextStamp();
+        if (is_write)
+            base[way].dirty = true;
+        return result;
+    }
+
+    ++misses_;
+    const unsigned victim = victimWay(set);
+    CacheBlock &blk = base[victim];
+    if (blk.valid) {
+        result.evicted = true;
+        result.victimAddr = blk.blockAddr;
+        if (blk.dirty) {
+            result.writeback = true;
+            ++writebacks_;
+        }
+    }
+    blk.blockAddr = block_addr;
+    blk.valid = true;
+    blk.dirty = is_write;
+    blk.lruStamp = nextStamp();
+    return result;
+}
+
+bool
+SetAssocCache::contains(Addr addr) const
+{
+    const Addr block_addr = blockAddrOf(addr);
+    return findWay(setIndexOf(block_addr), block_addr) >= 0;
+}
+
+void
+SetAssocCache::invalidate(Addr addr)
+{
+    const Addr block_addr = blockAddrOf(addr);
+    const std::uint64_t set = setIndexOf(block_addr);
+    int way = findWay(set, block_addr);
+    if (way >= 0)
+        setBase(set)[way].invalidate();
+}
+
+void
+SetAssocCache::flush()
+{
+    for (auto &blk : blocks_)
+        blk.invalidate();
+    stampCounter_ = 0;
+}
+
+double
+SetAssocCache::missRate() const
+{
+    return accesses_ == 0
+               ? 0.0
+               : static_cast<double>(misses_) /
+                     static_cast<double>(accesses_);
+}
+
+void
+SetAssocCache::resetStats()
+{
+    accesses_ = misses_ = writebacks_ = 0;
+}
+
+std::uint64_t
+SetAssocCache::validBlocks() const
+{
+    std::uint64_t n = 0;
+    for (const auto &blk : blocks_)
+        if (blk.valid)
+            ++n;
+    return n;
+}
+
+} // namespace cmpqos

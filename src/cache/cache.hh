@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A plain set-associative cache with LRU replacement and write-back /
+ * write-allocate policy. Used for the private L1 instruction and data
+ * caches (Section 6) and as the base functional model that the
+ * partitioned L2 extends.
+ */
+
+#ifndef CMPQOS_CACHE_CACHE_HH
+#define CMPQOS_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/block.hh"
+#include "cache/config.hh"
+#include "common/types.hh"
+
+namespace cmpqos
+{
+
+/** Outcome of a single cache access. */
+struct AccessResult
+{
+    bool hit = false;
+    /** A dirty block was evicted and must be written back. */
+    bool writeback = false;
+    /** Block address of the evicted victim (valid iff evicted). */
+    Addr victimAddr = 0;
+    bool evicted = false;
+};
+
+/**
+ * Functional set-associative cache. Timing is not modelled here; the
+ * CPU model charges latencies based on hit/miss outcomes.
+ */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheConfig &config);
+    virtual ~SetAssocCache() = default;
+
+    /**
+     * Access one block. On a miss the block is allocated
+     * (write-allocate) and a victim may be evicted.
+     *
+     * @param addr byte address of the access
+     * @param is_write true for stores
+     * @return hit/miss and eviction information
+     */
+    AccessResult access(Addr addr, bool is_write);
+
+    /** Probe without side effects. @return true if the block is present. */
+    bool contains(Addr addr) const;
+
+    /** Invalidate the block holding @p addr if present. */
+    void invalidate(Addr addr);
+
+    /** Invalidate the entire cache and reset recency state. */
+    void flush();
+
+    const CacheConfig &config() const { return config_; }
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t hits() const { return accesses_ - misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+    double missRate() const;
+
+    /** Reset statistics without touching cache contents. */
+    void resetStats();
+
+    /** Number of currently valid blocks (O(blocks); for tests). */
+    std::uint64_t validBlocks() const;
+
+  protected:
+    /** Map a byte address to its block address. */
+    Addr blockAddrOf(Addr addr) const { return addr >> blockShift_; }
+
+    /** Map a block address to its set index. */
+    std::uint64_t setIndexOf(Addr block_addr) const
+    {
+        return block_addr & setMask_;
+    }
+
+    /** Access to the ways of one set. */
+    CacheBlock *setBase(std::uint64_t set)
+    {
+        return &blocks_[set * config_.assoc];
+    }
+    const CacheBlock *setBase(std::uint64_t set) const
+    {
+        return &blocks_[set * config_.assoc];
+    }
+
+    /** Advance and return the global recency stamp. */
+    std::uint64_t nextStamp() { return ++stampCounter_; }
+
+    CacheConfig config_;
+    unsigned blockShift_;
+    std::uint64_t setMask_;
+    std::vector<CacheBlock> blocks_;
+    std::uint64_t stampCounter_ = 0;
+
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+
+  private:
+    /** Find the way holding @p block_addr in @p set, or -1. */
+    int findWay(std::uint64_t set, Addr block_addr) const;
+
+    /** Choose a victim way in @p set: invalid first, else LRU. */
+    unsigned victimWay(std::uint64_t set) const;
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_CACHE_CACHE_HH

@@ -1,0 +1,95 @@
+#include "duplicate_tags.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace cmpqos
+{
+
+DuplicateTagArray::DuplicateTagArray(const CacheConfig &l2_config,
+                                     unsigned baseline_ways,
+                                     unsigned sample_period)
+    : l2Config_(l2_config), baselineWays_(baseline_ways),
+      samplePeriod_(sample_period)
+{
+    l2Config_.validate();
+    cmpqos_assert(baseline_ways > 0 && baseline_ways <= l2_config.assoc,
+                  "baseline ways %u out of range", baseline_ways);
+    cmpqos_assert(sample_period > 0, "sample period must be positive");
+    blockShift_ = floorLog2(l2Config_.blockSize);
+    setMask_ = l2Config_.numSets() - 1;
+    sampledSets_ = (l2Config_.numSets() + samplePeriod_ - 1) / samplePeriod_;
+    shadow_.resize(sampledSets_ * baselineWays_);
+}
+
+bool
+DuplicateTagArray::observe(Addr addr, bool main_hit)
+{
+    const Addr block_addr = addr >> blockShift_;
+    const std::uint64_t set = block_addr & setMask_;
+    if (!isSampled(set))
+        return false;
+
+    ++sampledAccesses_;
+    if (!main_hit)
+        ++mainMisses_;
+
+    const std::uint64_t shadow_set = set / samplePeriod_;
+    CacheBlock *base = &shadow_[shadow_set * baselineWays_];
+
+    // Lookup in the shadow partition.
+    for (unsigned w = 0; w < baselineWays_; ++w) {
+        if (base[w].valid && base[w].blockAddr == block_addr) {
+            base[w].lruStamp = ++stampCounter_;
+            return true;
+        }
+    }
+
+    // Shadow miss: fill with LRU replacement within the partition.
+    ++shadowMisses_;
+    unsigned victim = 0;
+    std::uint64_t best = ~0ULL;
+    for (unsigned w = 0; w < baselineWays_; ++w) {
+        if (!base[w].valid) {
+            victim = w;
+            break;
+        }
+        if (base[w].lruStamp < best) {
+            best = base[w].lruStamp;
+            victim = w;
+        }
+    }
+    base[victim].blockAddr = block_addr;
+    base[victim].valid = true;
+    base[victim].lruStamp = ++stampCounter_;
+    return true;
+}
+
+double
+DuplicateTagArray::missIncrease() const
+{
+    if (shadowMisses_ == 0)
+        return 0.0;
+    const double main = static_cast<double>(mainMisses_);
+    const double shadow = static_cast<double>(shadowMisses_);
+    return (main - shadow) / shadow;
+}
+
+bool
+DuplicateTagArray::exceedsSlack(double slack_fraction) const
+{
+    return missIncrease() >= slack_fraction;
+}
+
+void
+DuplicateTagArray::reset()
+{
+    for (auto &blk : shadow_)
+        blk.invalidate();
+    stampCounter_ = 0;
+    sampledAccesses_ = 0;
+    mainMisses_ = 0;
+    shadowMisses_ = 0;
+}
+
+} // namespace cmpqos

@@ -1,0 +1,111 @@
+#include "partition.hh"
+
+#include "common/logging.hh"
+
+namespace cmpqos
+{
+
+const char *
+coreClassName(CoreClass cls)
+{
+    switch (cls) {
+      case CoreClass::Inactive: return "Inactive";
+      case CoreClass::Reserved: return "Reserved";
+      case CoreClass::Opportunistic: return "Opportunistic";
+    }
+    return "?";
+}
+
+const char *
+partitionSchemeName(PartitionScheme scheme)
+{
+    switch (scheme) {
+      case PartitionScheme::None: return "None";
+      case PartitionScheme::Global: return "Global";
+      case PartitionScheme::PerSet: return "PerSet";
+    }
+    return "?";
+}
+
+WayAllocationTable::WayAllocationTable(int num_cores, unsigned assoc)
+    : numCores_(num_cores), assoc_(assoc),
+      targets_(static_cast<std::size_t>(num_cores), 0),
+      classes_(static_cast<std::size_t>(num_cores), CoreClass::Inactive)
+{
+    cmpqos_assert(num_cores > 0, "need at least one core");
+    cmpqos_assert(assoc > 0, "need at least one way");
+}
+
+void
+WayAllocationTable::checkCore(CoreId core) const
+{
+    cmpqos_assert(core >= 0 && core < numCores_, "core %d out of range",
+                  core);
+}
+
+void
+WayAllocationTable::setTarget(CoreId core, unsigned ways)
+{
+    checkCore(core);
+    unsigned others = 0;
+    for (int c = 0; c < numCores_; ++c) {
+        if (c != core && classes_[c] == CoreClass::Reserved)
+            others += targets_[c];
+    }
+    if (classes_[core] == CoreClass::Reserved && others + ways > assoc_) {
+        cmpqos_fatal("reserved targets (%u + %u) exceed associativity %u",
+                     others, ways, assoc_);
+    }
+    targets_[core] = ways;
+}
+
+unsigned
+WayAllocationTable::target(CoreId core) const
+{
+    checkCore(core);
+    return targets_[core];
+}
+
+void
+WayAllocationTable::setCoreClass(CoreId core, CoreClass cls)
+{
+    checkCore(core);
+    classes_[core] = cls;
+    if (cls == CoreClass::Reserved) {
+        // Re-validate the reserved total now that this core counts.
+        unsigned total = 0;
+        for (int c = 0; c < numCores_; ++c)
+            if (classes_[c] == CoreClass::Reserved)
+                total += targets_[c];
+        if (total > assoc_)
+            cmpqos_fatal("reserved targets %u exceed associativity %u",
+                         total, assoc_);
+    }
+}
+
+CoreClass
+WayAllocationTable::coreClass(CoreId core) const
+{
+    checkCore(core);
+    return classes_[core];
+}
+
+unsigned
+WayAllocationTable::reservedWays() const
+{
+    unsigned total = 0;
+    for (int c = 0; c < numCores_; ++c)
+        if (classes_[c] == CoreClass::Reserved)
+            total += targets_[c];
+    return total;
+}
+
+void
+WayAllocationTable::release(CoreId core)
+{
+    checkCore(core);
+    targets_[core] = 0;
+    classes_[core] = CoreClass::Inactive;
+}
+
+} // namespace cmpqos

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Way-partitioning vocabulary shared by the partitioned L2 cache and
+ * the QoS layer: partitioning schemes (Section 4.1), core classes for
+ * victim-selection priority, and the way-allocation table that tracks
+ * per-core target allocations.
+ */
+
+#ifndef CMPQOS_CACHE_PARTITION_HH
+#define CMPQOS_CACHE_PARTITION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cmpqos
+{
+
+/**
+ * How the shared cache is partitioned among cores (Section 4.1).
+ */
+enum class PartitionScheme
+{
+    /** No partitioning: plain shared LRU (a non-QoS CMP). */
+    None,
+    /**
+     * Global modified-LRU (Suh et al. [27]): one global allocation
+     * counter per core; per-set distribution is left to chance, which
+     * causes run-to-run performance variation.
+     */
+    Global,
+    /**
+     * Per-set partitioning (Iyer [10], Nesbit et al. [15]): each set
+     * converges to the per-core target way counts, giving uniform
+     * run-to-run behaviour. This is the scheme the paper adopts.
+     */
+    PerSet,
+};
+
+/**
+ * Classification of the job currently pinned to a core, as seen by
+ * the cache's victim-selection logic.
+ *
+ * Reserved covers Strict and Elastic(X) jobs (they hold reserved
+ * ways); Opportunistic cores share the unreserved pool; Inactive
+ * cores run nothing and their leftover blocks are preferred victims.
+ */
+enum class CoreClass
+{
+    Inactive,
+    Reserved,
+    Opportunistic,
+};
+
+const char *coreClassName(CoreClass cls);
+const char *partitionSchemeName(PartitionScheme scheme);
+
+/**
+ * Tracks per-core target way allocations for a shared cache and
+ * enforces that reserved targets never exceed the associativity.
+ *
+ * Opportunistic cores have no individual target: collectively they
+ * own the pool of unreserved ways (poolWays()).
+ */
+class WayAllocationTable
+{
+  public:
+    WayAllocationTable(int num_cores, unsigned assoc);
+
+    int numCores() const { return numCores_; }
+    unsigned assoc() const { return assoc_; }
+
+    /** Set a core's reserved way target (0 for none). */
+    void setTarget(CoreId core, unsigned ways);
+    unsigned target(CoreId core) const;
+
+    void setCoreClass(CoreId core, CoreClass cls);
+    CoreClass coreClass(CoreId core) const;
+
+    /** Sum of reserved targets over Reserved cores. */
+    unsigned reservedWays() const;
+
+    /** Ways left for the opportunistic pool. */
+    unsigned poolWays() const { return assoc_ - reservedWays(); }
+
+    /** Mark a core inactive and clear its target. */
+    void release(CoreId core);
+
+  private:
+    void checkCore(CoreId core) const;
+
+    int numCores_;
+    unsigned assoc_;
+    std::vector<unsigned> targets_;
+    std::vector<CoreClass> classes_;
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_CACHE_PARTITION_HH

@@ -1,0 +1,405 @@
+#include "partitioned_cache.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace cmpqos
+{
+
+PartitionedCache::PartitionedCache(const CacheConfig &config, int num_cores,
+                                   PartitionScheme scheme)
+    : config_(config), numCores_(num_cores), scheme_(scheme),
+      alloc_(num_cores, config.assoc)
+{
+    config_.validate();
+    cmpqos_assert(num_cores > 0, "need at least one core");
+    blockShift_ = floorLog2(config_.blockSize);
+    setMask_ = config_.numSets() - 1;
+    blocks_.resize(config_.numBlocks());
+    counts_.assign(config_.numSets() * static_cast<std::uint64_t>(numCores_),
+                   0);
+    gcounts_.assign(static_cast<std::size_t>(numCores_), 0);
+    stats_.resize(static_cast<std::size_t>(numCores_));
+}
+
+void
+PartitionedCache::setTargetWays(CoreId core, unsigned ways)
+{
+    alloc_.setTarget(core, ways);
+}
+
+void
+PartitionedCache::setCoreClass(CoreId core, CoreClass cls)
+{
+    alloc_.setCoreClass(core, cls);
+}
+
+void
+PartitionedCache::releaseCore(CoreId core)
+{
+    alloc_.release(core);
+}
+
+int
+PartitionedCache::findWay(std::uint64_t set, Addr block_addr) const
+{
+    const CacheBlock *base = setBase(set);
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        if (base[w].valid && base[w].blockAddr == block_addr)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+template <typename Pred>
+int
+PartitionedCache::lruAmong(std::uint64_t set, Pred pred) const
+{
+    const CacheBlock *base = setBase(set);
+    int victim = -1;
+    std::uint64_t best = ~0ULL;
+    for (unsigned w = 0; w < config_.assoc; ++w) {
+        if (!base[w].valid)
+            continue;
+        if (!pred(base[w]))
+            continue;
+        if (base[w].lruStamp < best) {
+            best = base[w].lruStamp;
+            victim = static_cast<int>(w);
+        }
+    }
+    return victim;
+}
+
+unsigned
+PartitionedCache::poolCount(std::uint64_t set) const
+{
+    unsigned n = 0;
+    for (int c = 0; c < numCores_; ++c)
+        if (alloc_.coreClass(c) == CoreClass::Opportunistic)
+            n += countOf(set, c);
+    return n;
+}
+
+unsigned
+PartitionedCache::selectVictimPerSet(std::uint64_t set, CoreId core)
+{
+    const CoreClass cls = alloc_.coreClass(core);
+    const bool requester_pooled = cls != CoreClass::Reserved;
+    const unsigned own_count =
+        requester_pooled ? poolCount(set) : countOf(set, core);
+    const unsigned own_target =
+        requester_pooled ? alloc_.poolWays() : alloc_.target(core);
+
+    int victim = -1;
+    if (own_count < own_target) {
+        // Under target: claim free capacity first — invalid ways,
+        // then blocks abandoned by inactive cores (orphans).
+        const CacheBlock *base = setBase(set);
+        for (unsigned w = 0; w < config_.assoc; ++w)
+            if (!base[w].valid)
+                return w;
+        victim = lruAmong(set, [&](const CacheBlock &b) {
+            return alloc_.coreClass(b.owner) == CoreClass::Inactive;
+        });
+        if (victim >= 0)
+            return static_cast<unsigned>(victim);
+
+        // Then take from an over-allocated entity. Prefer
+        // over-allocated Reserved cores (accelerates convergence of
+        // Strict/Elastic partitions and frees stolen ways fastest).
+        victim = lruAmong(set, [&](const CacheBlock &b) {
+            return alloc_.coreClass(b.owner) == CoreClass::Reserved &&
+                   b.owner != core &&
+                   countOf(set, b.owner) > alloc_.target(b.owner);
+        });
+        if (victim >= 0)
+            return static_cast<unsigned>(victim);
+
+        // Then the opportunistic pool, if it is over its budget or if
+        // the requester is itself reserved (the pool yields to
+        // reservations unconditionally).
+        const bool pool_yields =
+            !requester_pooled || poolCount(set) > alloc_.poolWays();
+        if (pool_yields) {
+            victim = lruAmong(set, [&](const CacheBlock &b) {
+                return alloc_.coreClass(b.owner) ==
+                       CoreClass::Opportunistic;
+            });
+            if (victim >= 0)
+                return static_cast<unsigned>(victim);
+        }
+    }
+
+    // At/over target (or nothing stealable): replace within the
+    // requester's own entity. Crucially, an at-target core must NOT
+    // claim invalid ways — that would let it occupy capacity beyond
+    // its allocation and defeat way-partitioned isolation.
+    if (requester_pooled) {
+        victim = lruAmong(set, [&](const CacheBlock &b) {
+            return alloc_.coreClass(b.owner) == CoreClass::Opportunistic;
+        });
+    } else {
+        victim = lruAmong(set, [&](const CacheBlock &b) {
+            return b.owner == core;
+        });
+    }
+    if (victim >= 0)
+        return static_cast<unsigned>(victim);
+
+    // Fallback for corner cases (e.g., an entity with a zero target
+    // and no resident blocks): free capacity, orphans, global LRU.
+    const CacheBlock *base = setBase(set);
+    for (unsigned w = 0; w < config_.assoc; ++w)
+        if (!base[w].valid)
+            return w;
+    victim = lruAmong(set, [&](const CacheBlock &b) {
+        return alloc_.coreClass(b.owner) == CoreClass::Inactive;
+    });
+    if (victim < 0)
+        victim = lruAmong(set, [](const CacheBlock &) { return true; });
+    cmpqos_assert(victim >= 0, "full set with no victim candidate");
+    return static_cast<unsigned>(victim);
+}
+
+unsigned
+PartitionedCache::selectVictimGlobal(std::uint64_t set, CoreId core)
+{
+    int victim = -1;
+
+    // Global target expressed in blocks: ways * numSets.
+    auto global_target = [&](CoreId c) -> std::uint64_t {
+        if (alloc_.coreClass(c) == CoreClass::Opportunistic) {
+            // Pool cores share the pool budget evenly for the global
+            // counter comparison.
+            int pool_cores = 0;
+            for (int i = 0; i < numCores_; ++i)
+                if (alloc_.coreClass(i) == CoreClass::Opportunistic)
+                    ++pool_cores;
+            return pool_cores == 0
+                       ? 0
+                       : static_cast<std::uint64_t>(alloc_.poolWays()) *
+                             config_.numSets() /
+                             static_cast<std::uint64_t>(pool_cores);
+        }
+        return static_cast<std::uint64_t>(alloc_.target(c)) *
+               config_.numSets();
+    };
+
+    if (gcounts_[static_cast<std::size_t>(core)] < global_target(core)) {
+        // Under global target: free capacity and orphans first.
+        const CacheBlock *base = setBase(set);
+        for (unsigned w = 0; w < config_.assoc; ++w)
+            if (!base[w].valid)
+                return w;
+        victim = lruAmong(set, [&](const CacheBlock &b) {
+            return alloc_.coreClass(b.owner) == CoreClass::Inactive;
+        });
+        if (victim >= 0)
+            return static_cast<unsigned>(victim);
+
+        // Victimise any over-allocated core's block present in this
+        // set; Reserved cores first, as in the per-set scheme.
+        victim = lruAmong(set, [&](const CacheBlock &b) {
+            return alloc_.coreClass(b.owner) == CoreClass::Reserved &&
+                   b.owner != core &&
+                   gcounts_[static_cast<std::size_t>(b.owner)] >
+                       global_target(b.owner);
+        });
+        if (victim < 0) {
+            victim = lruAmong(set, [&](const CacheBlock &b) {
+                return b.owner != core &&
+                       gcounts_[static_cast<std::size_t>(b.owner)] >
+                           global_target(b.owner);
+            });
+        }
+        if (victim >= 0)
+            return static_cast<unsigned>(victim);
+    } else {
+        victim = lruAmong(set, [&](const CacheBlock &b) {
+            return b.owner == core;
+        });
+        if (victim >= 0)
+            return static_cast<unsigned>(victim);
+    }
+
+    // Fallback: free capacity, orphans, then global LRU.
+    const CacheBlock *base = setBase(set);
+    for (unsigned w = 0; w < config_.assoc; ++w)
+        if (!base[w].valid)
+            return w;
+    victim = lruAmong(set, [&](const CacheBlock &b) {
+        return alloc_.coreClass(b.owner) == CoreClass::Inactive;
+    });
+    if (victim < 0)
+        victim = lruAmong(set, [](const CacheBlock &) { return true; });
+    cmpqos_assert(victim >= 0, "full set with no victim candidate");
+    return static_cast<unsigned>(victim);
+}
+
+unsigned
+PartitionedCache::selectVictim(std::uint64_t set, CoreId core)
+{
+    switch (scheme_) {
+      case PartitionScheme::None: {
+        // Unpartitioned: invalid ways first, then plain LRU.
+        const CacheBlock *base = setBase(set);
+        for (unsigned w = 0; w < config_.assoc; ++w)
+            if (!base[w].valid)
+                return w;
+        int victim = lruAmong(set, [](const CacheBlock &) { return true; });
+        return static_cast<unsigned>(victim);
+      }
+      case PartitionScheme::Global:
+        return selectVictimGlobal(set, core);
+      case PartitionScheme::PerSet:
+        return selectVictimPerSet(set, core);
+    }
+    cmpqos_panic("unknown partition scheme");
+}
+
+AccessResult
+PartitionedCache::access(CoreId core, Addr addr, bool is_write)
+{
+    cmpqos_assert(core >= 0 && core < numCores_, "core %d out of range",
+                  core);
+    auto &st = stats_[static_cast<std::size_t>(core)];
+    ++st.accesses;
+
+    const Addr block_addr = blockAddrOf(addr);
+    const std::uint64_t set = setIndexOf(block_addr);
+    CacheBlock *base = setBase(set);
+
+    AccessResult result;
+    int way = findWay(set, block_addr);
+    if (way >= 0) {
+        result.hit = true;
+        base[way].lruStamp = ++stampCounter_;
+        if (is_write)
+            base[way].dirty = true;
+        return result;
+    }
+
+    ++st.misses;
+    const unsigned victim = selectVictim(set, core);
+    CacheBlock &blk = base[victim];
+    if (blk.valid) {
+        result.evicted = true;
+        result.victimAddr = blk.blockAddr;
+        if (blk.dirty) {
+            result.writeback = true;
+            ++st.writebacks;
+        }
+        if (blk.owner != core)
+            ++st.interferenceEvictions;
+        // Maintain ownership counters.
+        cmpqos_assert(blk.owner >= 0 && blk.owner < numCores_,
+                      "valid block with bad owner");
+        --count(set, blk.owner);
+        --gcounts_[static_cast<std::size_t>(blk.owner)];
+    }
+    blk.blockAddr = block_addr;
+    blk.valid = true;
+    blk.dirty = is_write;
+    blk.owner = core;
+    blk.lruStamp = ++stampCounter_;
+    ++count(set, core);
+    ++gcounts_[static_cast<std::size_t>(core)];
+    return result;
+}
+
+bool
+PartitionedCache::contains(Addr addr) const
+{
+    const Addr block_addr = blockAddrOf(addr);
+    return findWay(setIndexOf(block_addr), block_addr) >= 0;
+}
+
+std::uint64_t
+PartitionedCache::blocksOwnedBy(CoreId core) const
+{
+    cmpqos_assert(core >= 0 && core < numCores_, "core out of range");
+    return gcounts_[static_cast<std::size_t>(core)];
+}
+
+unsigned
+PartitionedCache::blocksInSet(std::uint64_t set, CoreId core) const
+{
+    cmpqos_assert(set < config_.numSets(), "set out of range");
+    cmpqos_assert(core >= 0 && core < numCores_, "core out of range");
+    return countOf(set, core);
+}
+
+const CoreCacheStats &
+PartitionedCache::coreStats(CoreId core) const
+{
+    cmpqos_assert(core >= 0 && core < numCores_, "core out of range");
+    return stats_[static_cast<std::size_t>(core)];
+}
+
+void
+PartitionedCache::resetStats()
+{
+    for (auto &s : stats_)
+        s = CoreCacheStats();
+}
+
+double
+PartitionedCache::missRate() const
+{
+    const std::uint64_t a = totalAccesses();
+    return a == 0 ? 0.0
+                  : static_cast<double>(totalMisses()) /
+                        static_cast<double>(a);
+}
+
+std::uint64_t
+PartitionedCache::totalAccesses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : stats_)
+        n += s.accesses;
+    return n;
+}
+
+std::uint64_t
+PartitionedCache::totalMisses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &s : stats_)
+        n += s.misses;
+    return n;
+}
+
+void
+PartitionedCache::flush()
+{
+    for (auto &blk : blocks_)
+        blk.invalidate();
+    for (auto &c : counts_)
+        c = 0;
+    for (auto &g : gcounts_)
+        g = 0;
+    stampCounter_ = 0;
+}
+
+double
+PartitionedCache::perSetOccupancySpread(CoreId core) const
+{
+    cmpqos_assert(core >= 0 && core < numCores_, "core out of range");
+    const std::uint64_t sets = config_.numSets();
+    double sum = 0.0, sum_sq = 0.0;
+    for (std::uint64_t s = 0; s < sets; ++s) {
+        const double v = static_cast<double>(countOf(s, core));
+        sum += v;
+        sum_sq += v * v;
+    }
+    const double n = static_cast<double>(sets);
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+} // namespace cmpqos

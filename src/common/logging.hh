@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated: a cmpqos bug. Aborts.
+ * fatal()  — the user asked for something impossible (bad config).
+ *            Exits with an error code.
+ * warn()   — something is suspicious but simulation can continue.
+ * inform() — progress / informational messages.
+ */
+
+#ifndef CMPQOS_COMMON_LOGGING_HH
+#define CMPQOS_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace cmpqos
+{
+
+/** Verbosity control: when false, inform() output is suppressed. */
+void setVerbose(bool verbose);
+
+/** @return whether inform() messages are currently printed. */
+bool verboseEnabled();
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Minimal printf-style formatter returning a std::string. */
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+} // namespace cmpqos
+
+/** Abort on an internal simulator bug. */
+#define cmpqos_panic(...)                                                    \
+    ::cmpqos::detail::panicImpl(__FILE__, __LINE__,                          \
+                                ::cmpqos::detail::format(__VA_ARGS__))
+
+/** Exit on a user configuration error. */
+#define cmpqos_fatal(...)                                                    \
+    ::cmpqos::detail::fatalImpl(__FILE__, __LINE__,                          \
+                                ::cmpqos::detail::format(__VA_ARGS__))
+
+/** Warn about a condition that might indicate a problem. */
+#define cmpqos_warn(...)                                                     \
+    ::cmpqos::detail::warnImpl(::cmpqos::detail::format(__VA_ARGS__))
+
+/** Informational progress message (suppressed unless verbose). */
+#define cmpqos_inform(...)                                                   \
+    ::cmpqos::detail::informImpl(::cmpqos::detail::format(__VA_ARGS__))
+
+/** Panic when @p cond does not hold. */
+#define cmpqos_assert(cond, ...)                                             \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            cmpqos_panic("assertion '%s' failed: %s", #cond,                 \
+                         ::cmpqos::detail::format(__VA_ARGS__).c_str());     \
+        }                                                                    \
+    } while (0)
+
+#endif // CMPQOS_COMMON_LOGGING_HH

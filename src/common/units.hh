@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Byte-size helpers for cache and memory geometry.
+ */
+
+#ifndef CMPQOS_COMMON_UNITS_HH
+#define CMPQOS_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace cmpqos
+{
+
+constexpr std::uint64_t kib = 1024ULL;
+constexpr std::uint64_t mib = 1024ULL * kib;
+constexpr std::uint64_t gib = 1024ULL * mib;
+
+/** User-defined literals so cache geometry reads like the paper. */
+namespace units
+{
+
+constexpr std::uint64_t
+operator""_KiB(unsigned long long v)
+{
+    return v * kib;
+}
+
+constexpr std::uint64_t
+operator""_MiB(unsigned long long v)
+{
+    return v * mib;
+}
+
+constexpr std::uint64_t
+operator""_GiB(unsigned long long v)
+{
+    return v * gib;
+}
+
+} // namespace units
+
+/** True iff @p v is a power of two (and nonzero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v); v must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+} // namespace cmpqos
+
+#endif // CMPQOS_COMMON_UNITS_HH

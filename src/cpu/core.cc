@@ -1,0 +1,14 @@
+#include "core.hh"
+
+namespace cmpqos
+{
+
+InOrderCore::InOrderCore(CoreId id, bool with_l1,
+                         const CacheConfig &l1_config)
+    : id_(id)
+{
+    if (with_l1)
+        l1_ = std::make_unique<SetAssocCache>(l1_config);
+}
+
+} // namespace cmpqos

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The in-order core model: per-core execution ledger plus optional
+ * private L1 caches (32KB, 4-way, 64B, 2-cycle — Section 6) used when
+ * the workload runs in full-trace mode.
+ *
+ * The core does not fetch or decode; the synthetic generator stands
+ * in for the instruction stream and the additive CPI model converts
+ * retired instructions plus observed cache behaviour into cycles.
+ */
+
+#ifndef CMPQOS_CPU_CORE_HH
+#define CMPQOS_CPU_CORE_HH
+
+#include <memory>
+
+#include "cache/cache.hh"
+#include "cache/config.hh"
+#include "common/types.hh"
+#include "cpu/cpi_model.hh"
+
+namespace cmpqos
+{
+
+/** Cumulative execution ledger for one core. */
+struct CoreLedger
+{
+    InstCount instructions = 0;
+    double cycles = 0.0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    /** Cycles the core sat idle (no job scheduled). */
+    double idleCycles = 0.0;
+
+    double
+    ipc() const
+    {
+        return cycles <= 0.0
+                   ? 0.0
+                   : static_cast<double>(instructions) / cycles;
+    }
+
+    double
+    cpi() const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : cycles / static_cast<double>(instructions);
+    }
+};
+
+/**
+ * One in-order 2GHz core of the CMP.
+ */
+class InOrderCore
+{
+  public:
+    explicit InOrderCore(CoreId id, bool with_l1 = false,
+                         const CacheConfig &l1_config =
+                             CacheConfig::l1Default());
+
+    CoreId id() const { return id_; }
+
+    /** Private L1 data cache; null when running in L2Stream mode. */
+    SetAssocCache *l1() { return l1_.get(); }
+    const SetAssocCache *l1() const { return l1_.get(); }
+
+    CoreLedger &ledger() { return ledger_; }
+    const CoreLedger &ledger() const { return ledger_; }
+
+    /** Local core time in cycles (advances as its jobs execute). */
+    double localTime() const { return localTime_; }
+    void advanceTime(double cycles) { localTime_ += cycles; }
+    void setTime(double t) { localTime_ = t; }
+
+    void resetLedger() { ledger_ = CoreLedger(); }
+
+  private:
+    CoreId id_;
+    std::unique_ptr<SetAssocCache> l1_;
+    CoreLedger ledger_;
+    double localTime_ = 0.0;
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_CPU_CORE_HH

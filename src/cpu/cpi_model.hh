@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The additive CPI model the paper builds its resource-stealing
+ * criterion on (Section 4.2, after Luo [13]):
+ *
+ *     CPI = CPI_L1inf + h2 * t2 + hm * tm
+ *
+ * where CPI_L1inf is the CPI with an infinite L1, h2 / hm are L2
+ * accesses / misses per instruction, and t2 / tm are the L2 access
+ * and miss penalties. All components are non-negative, which is
+ * exactly why an X% increase in hm yields a < X% increase in CPI —
+ * the property that makes L2 miss rate a safe, conservative proxy
+ * for CPI when bounding an Elastic(X) job's slowdown.
+ */
+
+#ifndef CMPQOS_CPU_CPI_MODEL_HH
+#define CMPQOS_CPU_CPI_MODEL_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace cmpqos
+{
+
+/** Per-benchmark constants of the additive model. */
+struct CpiParams
+{
+    /** CPI assuming an infinite L1 cache. */
+    double cpiL1Inf = 1.0;
+    /** L2 access penalty t2 in cycles (L2 hit latency). */
+    double t2 = 10.0;
+};
+
+/**
+ * Evaluate the additive model over an execution window.
+ */
+class AdditiveCpiModel
+{
+  public:
+    /**
+     * Cycles consumed by @p instructions given observed L2 activity.
+     *
+     * @param params benchmark constants
+     * @param instructions instructions retired in the window
+     * @param l2_accesses L2 accesses in the window (h2 * N)
+     * @param l2_misses L2 misses in the window (hm * N)
+     * @param tm effective L2 miss penalty for this window
+     */
+    static double
+    cycles(const CpiParams &params, InstCount instructions,
+           std::uint64_t l2_accesses, std::uint64_t l2_misses, double tm)
+    {
+        return params.cpiL1Inf * static_cast<double>(instructions) +
+               params.t2 * static_cast<double>(l2_accesses) +
+               tm * static_cast<double>(l2_misses);
+    }
+
+    /** CPI over a window (cycles / instructions). */
+    static double
+    cpi(const CpiParams &params, InstCount instructions,
+        std::uint64_t l2_accesses, std::uint64_t l2_misses, double tm)
+    {
+        if (instructions == 0)
+            return 0.0;
+        return cycles(params, instructions, l2_accesses, l2_misses, tm) /
+               static_cast<double>(instructions);
+    }
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_CPU_CPI_MODEL_HH

@@ -1,0 +1,56 @@
+#include "memory.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cmpqos
+{
+
+MainMemory::MainMemory(const MemoryConfig &config) : config_(config)
+{
+    cmpqos_assert(config_.peakBandwidthBytesPerSec > 0.0,
+                  "peak bandwidth must be positive");
+    bytesPerCycle_ = config_.peakBandwidthBytesPerSec /
+                     static_cast<double>(coreClockHz);
+}
+
+void
+MainMemory::noteWindow(std::uint64_t bytes, Cycle cycles)
+{
+    totalBytes_ += bytes;
+    if (cycles == 0)
+        return;
+    const double inst = std::min(
+        1.0, static_cast<double>(bytes) /
+                 (static_cast<double>(cycles) * bytesPerCycle_));
+    utilization_ = config_.ewmaAlpha * inst +
+                   (1.0 - config_.ewmaAlpha) * utilization_;
+}
+
+bool
+MainMemory::saturated() const
+{
+    return utilization_ >= config_.saturationThreshold;
+}
+
+double
+MainMemory::missPenalty(bool priority) const
+{
+    const double base = static_cast<double>(config_.accessLatency);
+    if (priority)
+        return base;
+    // M/D/1 mean wait, clamped away from the rho -> 1 pole.
+    const double rho = std::min(utilization_, 0.95);
+    const double wait = base * rho / (2.0 * (1.0 - rho));
+    return base + std::min(wait, base * config_.maxQueueingFactor);
+}
+
+void
+MainMemory::reset()
+{
+    utilization_ = 0.0;
+    totalBytes_ = 0;
+}
+
+} // namespace cmpqos

@@ -1,0 +1,88 @@
+#include "gac.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cmpqos
+{
+
+GlobalAdmissionController::GlobalAdmissionController(GacPolicy policy)
+    : policy_(policy)
+{
+}
+
+void
+GlobalAdmissionController::addNode(NodeId id, LocalAdmissionController *lac)
+{
+    cmpqos_assert(lac != nullptr, "null LAC");
+    nodes_.push_back(NodeEntry{id, lac});
+}
+
+AdmissionDecision
+GlobalAdmissionController::probeNode(const NodeEntry &node, const Job &job,
+                                     Cycle now,
+                                     Cycle relative_deadline_override) const
+{
+    ++probes_;
+    if (relative_deadline_override == 0)
+        return node.lac->probe(job, now);
+
+    QosTarget relaxed = job.target();
+    relaxed.relativeDeadline = relative_deadline_override;
+    Job shadow(job.id(), job.benchmark(), job.instructions(), relaxed,
+               job.mode());
+    return node.lac->probe(shadow, now);
+}
+
+GacDecision
+GlobalAdmissionController::submit(Job &job, Cycle now)
+{
+    GacDecision best;
+    for (const auto &node : nodes_) {
+        const AdmissionDecision d = probeNode(node, job, now, 0);
+        if (!d.accepted)
+            continue;
+        if (policy_ == GacPolicy::FirstFit) {
+            best.accepted = true;
+            best.node = node.id;
+            best.local = node.lac->submit(job, now);
+            return best;
+        }
+        if (!best.accepted || d.slotStart < best.local.slotStart) {
+            best.accepted = true;
+            best.node = node.id;
+            best.local = d;
+        }
+    }
+    if (!best.accepted)
+        return best;
+    // EarliestSlot: commit on the winning node.
+    for (const auto &node : nodes_) {
+        if (node.id == best.node) {
+            best.local = node.lac->submit(job, now);
+            return best;
+        }
+    }
+    cmpqos_panic("winning node disappeared");
+}
+
+std::optional<Cycle>
+GlobalAdmissionController::negotiateDeadline(const Job &job, Cycle now,
+                                             double max_factor,
+                                             double step_fraction) const
+{
+    const Cycle base = job.target().relativeDeadline;
+    for (double f = 1.0 + step_fraction; f <= max_factor + 1e-9;
+         f += step_fraction) {
+        const Cycle relaxed = static_cast<Cycle>(
+            std::ceil(static_cast<double>(base) * f));
+        for (const auto &node : nodes_) {
+            if (probeNode(node, job, now, relaxed).accepted)
+                return relaxed;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace cmpqos

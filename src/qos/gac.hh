@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The Global Admission Controller (Section 3.1): a server hosts many
+ * CMP nodes; the GAC probes each node's Local Admission Controller to
+ * find one that can accept a new job and satisfy its QoS target. When
+ * no node can, the GAC rejects the job or negotiates with the user
+ * for an acceptable (relaxed) QoS target.
+ *
+ * The paper scopes the GAC out of its evaluation; this implementation
+ * provides the probing and negotiation behaviour the paper describes
+ * so the multi-node batch_cluster example and tests can exercise it.
+ */
+
+#ifndef CMPQOS_QOS_GAC_HH
+#define CMPQOS_QOS_GAC_HH
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+#include "qos/admission.hh"
+#include "qos/job.hh"
+
+namespace cmpqos
+{
+
+/** How the GAC chooses among nodes that can accept a job. */
+enum class GacPolicy
+{
+    /** First node (by id order) whose LAC accepts. */
+    FirstFit,
+    /** Node offering the earliest timeslot start. */
+    EarliestSlot,
+};
+
+/** Outcome of a GAC submission. */
+struct GacDecision
+{
+    bool accepted = false;
+    NodeId node = -1;
+    AdmissionDecision local;
+};
+
+/**
+ * Routes jobs across CMP nodes by probing their LACs.
+ */
+class GlobalAdmissionController
+{
+  public:
+    explicit GlobalAdmissionController(GacPolicy policy =
+                                           GacPolicy::FirstFit);
+
+    /** Register a node's LAC (not owned). */
+    void addNode(NodeId id, LocalAdmissionController *lac);
+
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+    /**
+     * Probe all nodes and, per policy, submit @p job to the chosen
+     * one. On rejection no node state changes.
+     */
+    GacDecision submit(Job &job, Cycle now);
+
+    /**
+     * Negotiation: find the smallest relaxed relative deadline (in
+     * steps of @p step_fraction of the current one, up to
+     * @p max_factor times it) under which some node would accept the
+     * job. Returns the relaxed relative deadline, or nullopt.
+     */
+    std::optional<Cycle> negotiateDeadline(const Job &job, Cycle now,
+                                           double max_factor = 4.0,
+                                           double step_fraction = 0.25)
+        const;
+
+    std::uint64_t probes() const { return probes_; }
+
+  private:
+    struct NodeEntry
+    {
+        NodeId id;
+        LocalAdmissionController *lac;
+    };
+
+    /** Probe one node with a possibly modified deadline. */
+    AdmissionDecision probeNode(const NodeEntry &node, const Job &job,
+                                Cycle now,
+                                Cycle relative_deadline_override) const;
+
+    GacPolicy policy_;
+    std::vector<NodeEntry> nodes_;
+    mutable std::uint64_t probes_ = 0;
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_QOS_GAC_HH

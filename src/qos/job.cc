@@ -1,0 +1,45 @@
+#include "job.hh"
+
+#include "common/logging.hh"
+
+namespace cmpqos
+{
+
+const char *
+jobStateName(JobState s)
+{
+    switch (s) {
+      case JobState::Submitted: return "Submitted";
+      case JobState::Rejected: return "Rejected";
+      case JobState::Waiting: return "Waiting";
+      case JobState::Running: return "Running";
+      case JobState::Completed: return "Completed";
+      case JobState::Terminated: return "Terminated";
+    }
+    return "?";
+}
+
+Job::Job(JobId id, std::string benchmark, InstCount instructions,
+         QosTarget target, ModeSpec mode)
+    : id_(id), benchmark_(std::move(benchmark)),
+      instructions_(instructions), target_(target), mode_(mode)
+{
+}
+
+bool
+Job::deadlineMet() const
+{
+    cmpqos_assert(state_ == JobState::Completed,
+                  "deadlineMet() on incomplete job %d", id_);
+    cmpqos_assert(exec_ != nullptr, "job %d has no execution state", id_);
+    return static_cast<Cycle>(exec_->endCycle) <= deadline;
+}
+
+double
+Job::wallClock() const
+{
+    cmpqos_assert(exec_ != nullptr, "job %d has no execution state", id_);
+    return exec_->wallClock();
+}
+
+} // namespace cmpqos

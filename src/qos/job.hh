@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The QoS-side job object: target, mode, lifecycle state, timeslot
+ * bookkeeping, and the link to its execution-side state.
+ *
+ * A job here is "the unit of aperiodic computation that has its own
+ * QoS target" (Section 3.1) — in this reproduction, one instance of a
+ * single-threaded synthetic benchmark.
+ */
+
+#ifndef CMPQOS_QOS_JOB_HH
+#define CMPQOS_QOS_JOB_HH
+
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+#include "qos/mode.hh"
+#include "qos/target.hh"
+#include "sim/job_exec.hh"
+
+namespace cmpqos
+{
+
+/** Lifecycle of a submitted job. */
+enum class JobState
+{
+    Submitted,
+    Rejected,
+    /** Accepted; waiting for its reserved timeslot to begin. */
+    Waiting,
+    Running,
+    Completed,
+    /**
+     * Killed before completion — either cancelled by the user or
+     * terminated for exceeding its maximum wall-clock time (the
+     * expectation embedded in tw, Section 3.2).
+     */
+    Terminated,
+};
+
+const char *jobStateName(JobState s);
+
+/**
+ * One submitted job and everything the QoS framework knows about it.
+ */
+class Job
+{
+  public:
+    Job(JobId id, std::string benchmark, InstCount instructions,
+        QosTarget target, ModeSpec mode);
+
+    JobId id() const { return id_; }
+    const std::string &benchmark() const { return benchmark_; }
+    InstCount instructions() const { return instructions_; }
+
+    const QosTarget &target() const { return target_; }
+    const ModeSpec &mode() const { return mode_; }
+    /** Change the execution mode (manual downgrade, Section 3.3). */
+    void setMode(const ModeSpec &m) { mode_ = m; }
+
+    JobState state() const { return state_; }
+    void setState(JobState s) { state_ = s; }
+
+    /** Absolute times (cycles). */
+    Cycle arrivalTime = 0;
+    Cycle acceptTime = 0;
+    /** Absolute deadline: arrival + target.relativeDeadline. */
+    Cycle deadline = maxCycle;
+    /** Start of the reserved timeslot (Strict/Elastic/AutoDown). */
+    Cycle slotStart = 0;
+    /** End of the reserved timeslot. */
+    Cycle slotEnd = 0;
+
+    /** Automatic mode downgrade bookkeeping (Section 3.4). */
+    bool autoDowngraded = false;
+    /** The job was switched back to Strict at its reserved slot. */
+    bool promotedToStrict = false;
+    Cycle promotionTime = 0;
+
+    /** Core the job is pinned to while Reserved (else invalidCore). */
+    CoreId assignedCore = invalidCore;
+
+    /** Resource stealing outcome (Elastic jobs). */
+    unsigned stolenWays = 0;
+    bool stealingCancelled = false;
+    /** Final duplicate-tag miss increase observed (Elastic jobs). */
+    double observedMissIncrease = 0.0;
+
+    /** Whether this job's mode reserves resources *right now* —
+     * auto-downgraded jobs hold a (future) reservation but run
+     * opportunistically until promoted. */
+    bool
+    runsReservedNow() const
+    {
+        if (mode_.mode == ExecutionMode::Opportunistic)
+            return false;
+        if (autoDowngraded && !promotedToStrict)
+            return false;
+        return true;
+    }
+
+    /** Jobs whose deadline guarantee the framework must honour. */
+    bool
+    countsForQos() const
+    {
+        return mode_.mode != ExecutionMode::Opportunistic;
+    }
+
+    /** Execution-side state (owned). */
+    JobExecution *exec() { return exec_.get(); }
+    const JobExecution *exec() const { return exec_.get(); }
+    void
+    attachExec(std::unique_ptr<JobExecution> e)
+    {
+        exec_ = std::move(e);
+    }
+
+    /** Did the job complete by its deadline? (Only after completion.) */
+    bool deadlineMet() const;
+
+    /** Wall-clock time from execution start to completion. */
+    double wallClock() const;
+
+  private:
+    JobId id_;
+    std::string benchmark_;
+    InstCount instructions_;
+    QosTarget target_;
+    ModeSpec mode_;
+    JobState state_ = JobState::Submitted;
+    std::unique_ptr<JobExecution> exec_;
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_QOS_JOB_HH

@@ -1,0 +1,65 @@
+#include "mode.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cmpqos
+{
+
+const char *
+executionModeName(ExecutionMode m)
+{
+    switch (m) {
+      case ExecutionMode::Strict: return "Strict";
+      case ExecutionMode::Elastic: return "Elastic";
+      case ExecutionMode::Opportunistic: return "Opportunistic";
+    }
+    return "?";
+}
+
+Cycle
+ModeSpec::reservationDuration(Cycle tw) const
+{
+    switch (mode) {
+      case ExecutionMode::Strict:
+        return tw;
+      case ExecutionMode::Elastic:
+        return static_cast<Cycle>(
+            std::ceil(static_cast<double>(tw) * (1.0 + slack)));
+      case ExecutionMode::Opportunistic:
+        return 0;
+    }
+    return tw;
+}
+
+Cycle
+deadlineSlack(Cycle arrival, Cycle deadline, Cycle tw)
+{
+    if (deadline <= arrival)
+        return 0;
+    const Cycle window = deadline - arrival;
+    return window > tw ? window - tw : 0;
+}
+
+double
+maxInterchangeableElasticSlack(Cycle arrival, Cycle deadline, Cycle tw)
+{
+    cmpqos_assert(tw > 0, "tw must be positive");
+    return static_cast<double>(deadlineSlack(arrival, deadline, tw)) /
+           static_cast<double>(tw);
+}
+
+Cycle
+autoDowngradeSwitchBack(Cycle deadline, Cycle tw)
+{
+    return deadline > tw ? deadline - tw : 0;
+}
+
+bool
+autoDowngradeEligible(Cycle arrival, Cycle deadline, Cycle tw)
+{
+    return deadlineSlack(arrival, deadline, tw) > 0;
+}
+
+} // namespace cmpqos

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * QoS execution modes (Section 3.3) and the mode-downgrade algebra
+ * (Section 3.4).
+ *
+ * - Strict: requested resources and timeslot are strictly reserved.
+ * - Elastic(X): rigid deadline, but tolerates up to X% slowdown
+ *   relative to Strict execution; resources are reserved for
+ *   tw * (1 + X) instead of tw, and the system may steal excess
+ *   cache capacity bounded by X.
+ * - Opportunistic: no reservation at all; runs on spare resources.
+ *
+ * Automatic downgrade exploits deadline slack: a Strict job arriving
+ * at ta with deadline td and maximum wall-clock time tw has slack
+ * (td - ta) - tw. It can run as Opportunistic until td - tw and still
+ * meet td by switching back to Strict with a reserved late timeslot.
+ */
+
+#ifndef CMPQOS_QOS_MODE_HH
+#define CMPQOS_QOS_MODE_HH
+
+#include "common/types.hh"
+
+namespace cmpqos
+{
+
+/** The three execution modes of Section 3.3. */
+enum class ExecutionMode
+{
+    Strict,
+    Elastic,
+    Opportunistic,
+};
+
+const char *executionModeName(ExecutionMode m);
+
+/** A mode together with its Elastic slack parameter X (fraction). */
+struct ModeSpec
+{
+    ExecutionMode mode = ExecutionMode::Strict;
+    /** Elastic slack X as a fraction (0.05 = Elastic(5%)). */
+    double slack = 0.0;
+
+    static ModeSpec strict() { return {ExecutionMode::Strict, 0.0}; }
+    static ModeSpec
+    elastic(double x)
+    {
+        return {ExecutionMode::Elastic, x};
+    }
+    static ModeSpec
+    opportunistic()
+    {
+        return {ExecutionMode::Opportunistic, 0.0};
+    }
+
+    bool reservesResources() const
+    {
+        return mode != ExecutionMode::Opportunistic;
+    }
+
+    /**
+     * Reservation duration for a job with maximum wall-clock time
+     * @p tw: tw for Strict, tw * (1 + X) for Elastic(X) (Section
+     * 3.4), 0 for Opportunistic.
+     */
+    Cycle reservationDuration(Cycle tw) const;
+};
+
+/**
+ * Deadline slack of a job: (td - ta) - tw, or 0 if negative.
+ */
+Cycle deadlineSlack(Cycle arrival, Cycle deadline, Cycle tw);
+
+/**
+ * Maximum Elastic slack X such that downgrading a Strict job to
+ * Elastic(X) is interchangeable (still guarantees the deadline):
+ * X = ((td - ta) - tw) / tw. Fraction; 0 when there is no slack.
+ */
+double maxInterchangeableElasticSlack(Cycle arrival, Cycle deadline,
+                                      Cycle tw);
+
+/**
+ * Latest time an automatically-downgraded Strict job may keep running
+ * in Opportunistic mode: td - tw. At this point it must switch back
+ * to Strict to guarantee its deadline (Section 3.3).
+ */
+Cycle autoDowngradeSwitchBack(Cycle deadline, Cycle tw);
+
+/**
+ * Whether a Strict job is eligible for automatic downgrade at all —
+ * it must have positive slack (moderate or relaxed deadline).
+ */
+bool autoDowngradeEligible(Cycle arrival, Cycle deadline, Cycle tw);
+
+} // namespace cmpqos
+
+#endif // CMPQOS_QOS_MODE_HH

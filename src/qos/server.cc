@@ -1,0 +1,95 @@
+#include "server.hh"
+
+#include "common/logging.hh"
+
+namespace cmpqos
+{
+
+CmpServer::CmpServer(int num_nodes, const FrameworkConfig &node_config,
+                     GacPolicy policy)
+    : placed_(static_cast<std::size_t>(num_nodes), 0), policy_(policy)
+{
+    cmpqos_assert(num_nodes > 0, "server needs at least one node");
+    nodes_.reserve(static_cast<std::size_t>(num_nodes));
+    for (int n = 0; n < num_nodes; ++n)
+        nodes_.push_back(std::make_unique<QosFramework>(node_config));
+}
+
+QosFramework &
+CmpServer::node(NodeId n)
+{
+    cmpqos_assert(n >= 0 && n < numNodes(), "node %d out of range", n);
+    return *nodes_[static_cast<std::size_t>(n)];
+}
+
+ServerDecision
+CmpServer::submit(const JobRequest &request, InstCount instructions)
+{
+    ServerDecision best;
+    for (int n = 0; n < numNodes(); ++n) {
+        ++probes_;
+        const AdmissionDecision d =
+            nodes_[static_cast<std::size_t>(n)]->probeJob(request,
+                                                          instructions);
+        if (!d.accepted)
+            continue;
+        if (policy_ == GacPolicy::FirstFit) {
+            best.accepted = true;
+            best.node = n;
+            best.local = d;
+            break;
+        }
+        if (!best.accepted || d.slotStart < best.local.slotStart) {
+            best.accepted = true;
+            best.node = n;
+            best.local = d;
+        }
+    }
+    if (!best.accepted) {
+        ++rejected_;
+        return best;
+    }
+    Job *job = nodes_[static_cast<std::size_t>(best.node)]->submitJob(
+        request, instructions);
+    if (job == nullptr) {
+        // Probe said yes but the commit failed — should not happen
+        // since probe and submit run back-to-back at the same time.
+        cmpqos_panic("probe/submit disagreement on node %d", best.node);
+    }
+    ++accepted_;
+    ++placed_[static_cast<std::size_t>(best.node)];
+    best.job = job;
+    return best;
+}
+
+void
+CmpServer::runToCompletion()
+{
+    // Nodes share nothing; draining them one after another yields
+    // the same per-node timelines as running them concurrently.
+    for (auto &node : nodes_)
+        node->runToCompletion();
+}
+
+std::size_t
+CmpServer::placedOn(NodeId n) const
+{
+    cmpqos_assert(n >= 0 && n < numNodes(), "node out of range");
+    return placed_[static_cast<std::size_t>(n)];
+}
+
+bool
+CmpServer::allQosDeadlinesMet() const
+{
+    for (const auto &node : nodes_) {
+        for (const auto &job : node->jobs()) {
+            if (job->state() != JobState::Completed)
+                continue;
+            if (job->countsForQos() && !job->deadlineMet())
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace cmpqos

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * A multi-CMP server (Section 3.1's working environment, Figure 2):
+ * several CMP nodes, each with its own Local Admission Controller,
+ * fronted by global admission that probes the nodes and places each
+ * job on one that can satisfy its QoS target — rejecting (or, via
+ * GlobalAdmissionController::negotiateDeadline, renegotiating) when
+ * none can.
+ *
+ * The paper scopes the GAC's evaluation out; this component completes
+ * the picture: placement *and* execution, with each node running its
+ * own co-simulation. Nodes share no microarchitectural resources, so
+ * their simulations are independent and can be drained sequentially
+ * with exact results.
+ */
+
+#ifndef CMPQOS_QOS_SERVER_HH
+#define CMPQOS_QOS_SERVER_HH
+
+#include <memory>
+#include <vector>
+
+#include "qos/framework.hh"
+#include "qos/gac.hh"
+
+namespace cmpqos
+{
+
+/** Outcome of a server-level submission. */
+struct ServerDecision
+{
+    bool accepted = false;
+    NodeId node = -1;
+    Job *job = nullptr;
+    AdmissionDecision local;
+};
+
+/**
+ * num_nodes CMP nodes behind global admission.
+ */
+class CmpServer
+{
+  public:
+    CmpServer(int num_nodes, const FrameworkConfig &node_config,
+              GacPolicy policy = GacPolicy::FirstFit);
+
+    int numNodes() const { return static_cast<int>(nodes_.size()); }
+    QosFramework &node(NodeId n);
+
+    /**
+     * Submit a job through global admission: probe every node, pick
+     * one per policy (FirstFit: first accepting node; EarliestSlot:
+     * the node offering the earliest start), and submit there.
+     */
+    ServerDecision submit(const JobRequest &request,
+                          InstCount instructions);
+
+    /** Run every node's simulation until all its jobs complete. */
+    void runToCompletion();
+
+    std::uint64_t probes() const { return probes_; }
+    std::uint64_t acceptedCount() const { return accepted_; }
+    std::uint64_t rejectedCount() const { return rejected_; }
+
+    /** Jobs placed on node @p n so far. */
+    std::size_t placedOn(NodeId n) const;
+
+    /** True iff every accepted Strict/Elastic job met its deadline. */
+    bool allQosDeadlinesMet() const;
+
+  private:
+    std::vector<std::unique_ptr<QosFramework>> nodes_;
+    std::vector<std::size_t> placed_;
+    GacPolicy policy_;
+    std::uint64_t probes_ = 0;
+    std::uint64_t accepted_ = 0;
+    std::uint64_t rejected_ = 0;
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_QOS_SERVER_HH

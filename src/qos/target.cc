@@ -1,0 +1,73 @@
+#include "target.hh"
+
+#include "cache/config.hh"
+#include "common/logging.hh"
+
+namespace cmpqos
+{
+
+bool
+isConvertible(TargetUnits units)
+{
+    return units == TargetUnits::RUM;
+}
+
+std::uint64_t
+QosTarget::cacheBytes() const
+{
+    return static_cast<std::uint64_t>(cacheWays) *
+           CacheConfig::l2Default().wayBytes();
+}
+
+void
+QosTarget::validate(unsigned max_cores, unsigned max_ways) const
+{
+    if (cores == 0)
+        cmpqos_fatal("QoS target demands zero cores");
+    if (cores > max_cores)
+        cmpqos_fatal("QoS target demands %u cores, CMP has %u", cores,
+                     max_cores);
+    if (cacheWays > max_ways)
+        cmpqos_fatal("QoS target demands %u ways, L2 has %u", cacheWays,
+                     max_ways);
+    if (bandwidthPercent > 100)
+        cmpqos_fatal("QoS target demands %u%% of peak bandwidth",
+                     bandwidthPercent);
+    if (hasTimeslot) {
+        if (maxWallClock == 0)
+            cmpqos_fatal("timeslot target with zero max wall-clock time");
+        if (relativeDeadline < maxWallClock)
+            cmpqos_fatal("deadline %llu shorter than max wall-clock %llu",
+                         static_cast<unsigned long long>(relativeDeadline),
+                         static_cast<unsigned long long>(maxWallClock));
+    }
+}
+
+QosTarget
+QosTarget::small()
+{
+    QosTarget t;
+    t.cores = 1;
+    t.cacheWays = 2;
+    return t;
+}
+
+QosTarget
+QosTarget::medium()
+{
+    QosTarget t;
+    t.cores = 1;
+    t.cacheWays = 7;
+    return t;
+}
+
+QosTarget
+QosTarget::large()
+{
+    QosTarget t;
+    t.cores = 2;
+    t.cacheWays = 14;
+    return t;
+}
+
+} // namespace cmpqos

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * QoS target specification (Section 3.2).
+ *
+ * The paper argues QoS targets must be *convertible* — expressible in
+ * units that can be compared against available computation capacity.
+ * Resource Usage Metrics (RUM: processor count, cache capacity) are
+ * convertible; Overall/Resource Performance Metrics (IPC, miss rate)
+ * are not. A target optionally carries a timeslot resource: a maximum
+ * wall-clock time tw (borrowed from batch job systems) and a deadline.
+ */
+
+#ifndef CMPQOS_QOS_TARGET_HH
+#define CMPQOS_QOS_TARGET_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace cmpqos
+{
+
+/** Kinds of QoS target units discussed in Section 3.2. */
+enum class TargetUnits
+{
+    /** Resource Usage Metrics: cores, cache ways. Convertible. */
+    RUM,
+    /** Resource Performance Metrics: e.g. miss rate. Not convertible. */
+    RPM,
+    /** Overall Performance Metrics: e.g. IPC. Not convertible. */
+    OPM,
+};
+
+/**
+ * Whether targets in the given units are convertible, i.e. can be
+ * compared against available computation capacity (Definition 1).
+ */
+bool isConvertible(TargetUnits units);
+
+/**
+ * A RUM QoS target: resources demanded plus an optional timeslot.
+ */
+struct QosTarget
+{
+    /** Processor cores demanded. */
+    unsigned cores = 1;
+    /** Shared L2 ways demanded (7 of 16 in the paper's evaluation). */
+    unsigned cacheWays = 7;
+    /**
+     * Guaranteed off-chip bandwidth share, percent of peak (0 = no
+     * guarantee). Extension beyond the paper's evaluation — the RUM
+     * dimension it defers to future work.
+     */
+    unsigned bandwidthPercent = 0;
+
+    /** Whether a timeslot resource is specified (Section 3.2). */
+    bool hasTimeslot = true;
+    /** Maximum wall-clock time tw in cycles (0 = unspecified). */
+    Cycle maxWallClock = 0;
+    /** Deadline relative to arrival, td - ta, in cycles. */
+    Cycle relativeDeadline = 0;
+
+    /** Cache capacity demanded in bytes for the default L2. */
+    std::uint64_t cacheBytes() const;
+
+    /**
+     * Sanity-check the target (fatal on nonsense like 0 cores or a
+     * deadline shorter than tw with no slack possible).
+     */
+    void validate(unsigned max_cores, unsigned max_ways) const;
+
+    /**
+     * Preset configurations (Section 3.2 suggests presets like
+     * small/medium/large to simplify user selection, at the cost of
+     * possible overspecification).
+     */
+    static QosTarget small();
+    static QosTarget medium();
+    static QosTarget large();
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_QOS_TARGET_HH

@@ -1,0 +1,191 @@
+#include "workload_spec.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "workload/benchmark.hh"
+
+namespace cmpqos
+{
+
+const char *
+modeConfigName(ModeConfig c)
+{
+    switch (c) {
+      case ModeConfig::AllStrict: return "All-Strict";
+      case ModeConfig::Hybrid1: return "Hybrid-1";
+      case ModeConfig::Hybrid2: return "Hybrid-2";
+      case ModeConfig::AllStrictAutoDown: return "All-Strict+AutoDown";
+      case ModeConfig::EqualPart: return "EqualPart";
+    }
+    return "?";
+}
+
+const char *
+mixTypeName(MixType m)
+{
+    switch (m) {
+      case MixType::Mix1: return "Mix-1";
+      case MixType::Mix2: return "Mix-2";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Shuffle @p v deterministically with @p seed (Fisher-Yates). */
+template <typename T>
+void
+shuffle(std::vector<T> &v, std::uint64_t seed)
+{
+    Rng rng(seed);
+    for (std::size_t i = v.size(); i > 1; --i) {
+        const std::size_t j =
+            static_cast<std::size_t>(rng.uniformInt(i));
+        std::swap(v[i - 1], v[j]);
+    }
+}
+
+/** Allocate n slots across proportions, largest remainders last. */
+std::vector<std::size_t>
+apportion(std::size_t n, const std::vector<double> &fractions)
+{
+    std::vector<std::size_t> counts(fractions.size(), 0);
+    std::size_t assigned = 0;
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+        counts[i] = static_cast<std::size_t>(
+            fractions[i] * static_cast<double>(n) + 0.5);
+        assigned += counts[i];
+    }
+    // Fix rounding drift against the first bucket.
+    while (assigned > n) {
+        for (auto &c : counts)
+            if (c > 0 && assigned > n) {
+                --c;
+                --assigned;
+            }
+    }
+    while (assigned < n) {
+        ++counts[0];
+        ++assigned;
+    }
+    return counts;
+}
+
+/** Mode pattern for a Table 2 configuration over n accepted slots. */
+std::vector<ModeSpec>
+makeModeMix(ModeConfig config, std::size_t n, std::uint64_t seed)
+{
+    std::vector<ModeSpec> modes;
+    switch (config) {
+      case ModeConfig::AllStrict:
+      case ModeConfig::AllStrictAutoDown:
+      case ModeConfig::EqualPart:
+        modes.assign(n, ModeSpec::strict());
+        return modes;
+      case ModeConfig::Hybrid1: {
+        const auto counts = apportion(n, {0.7, 0.3});
+        modes.insert(modes.end(), counts[0], ModeSpec::strict());
+        modes.insert(modes.end(), counts[1], ModeSpec::opportunistic());
+        break;
+      }
+      case ModeConfig::Hybrid2: {
+        const auto counts = apportion(n, {0.4, 0.3, 0.3});
+        modes.insert(modes.end(), counts[0], ModeSpec::strict());
+        modes.insert(modes.end(), counts[1], ModeSpec::elastic(0.05));
+        modes.insert(modes.end(), counts[2], ModeSpec::opportunistic());
+        break;
+      }
+    }
+    shuffle(modes, seed ^ 0xa5a5a5a5ULL);
+    return modes;
+}
+
+} // namespace
+
+std::vector<double>
+makeDeadlineMix(std::size_t n, std::uint64_t seed)
+{
+    const auto counts = apportion(n, {0.5, 0.3, 0.2});
+    std::vector<double> factors;
+    factors.insert(factors.end(), counts[0], 1.05);
+    factors.insert(factors.end(), counts[1], 2.0);
+    factors.insert(factors.end(), counts[2], 3.0);
+    shuffle(factors, seed ^ 0x5a5a5a5aULL);
+    return factors;
+}
+
+WorkloadSpec
+makeSingleBenchmarkWorkload(ModeConfig config, const std::string &benchmark,
+                            std::size_t n_jobs,
+                            InstCount job_instructions, std::uint64_t seed)
+{
+    cmpqos_assert(BenchmarkRegistry::has(benchmark),
+                  "unknown benchmark '%s'", benchmark.c_str());
+    WorkloadSpec spec;
+    spec.name = std::string(modeConfigName(config)) + "/" + benchmark;
+    spec.config = config;
+    spec.jobInstructions = job_instructions;
+    spec.seed = seed;
+
+    const auto modes = makeModeMix(config, n_jobs, seed);
+    const auto deadlines = makeDeadlineMix(n_jobs, seed);
+    for (std::size_t i = 0; i < n_jobs; ++i) {
+        JobRequest r;
+        r.benchmark = benchmark;
+        r.mode = modes[i];
+        r.deadlineFactor = deadlines[i];
+        spec.jobs.push_back(std::move(r));
+    }
+    return spec;
+}
+
+WorkloadSpec
+makeMixedWorkload(ModeConfig config, MixType mix, std::size_t n_jobs,
+                  InstCount job_instructions, std::uint64_t seed)
+{
+    WorkloadSpec spec;
+    spec.name = std::string(modeConfigName(config)) + "/" +
+                mixTypeName(mix);
+    spec.config = config;
+    spec.jobInstructions = job_instructions;
+    spec.seed = seed;
+
+    // Table 3 role assignments.
+    const std::string strict_bench = "hmmer";
+    const std::string elastic_bench =
+        mix == MixType::Mix1 ? "gobmk" : "bzip2";
+    const std::string opp_bench =
+        mix == MixType::Mix1 ? "bzip2" : "gobmk";
+
+    const auto deadlines = makeDeadlineMix(n_jobs, seed);
+    for (std::size_t i = 0; i < n_jobs; ++i) {
+        JobRequest r;
+        r.deadlineFactor = deadlines[i];
+        switch (i % 3) {
+          case 0:
+            r.benchmark = strict_bench;
+            r.mode = ModeSpec::strict();
+            break;
+          case 1:
+            r.benchmark = elastic_bench;
+            r.mode = config == ModeConfig::Hybrid2
+                         ? ModeSpec::elastic(0.05)
+                         : ModeSpec::strict();
+            break;
+          default:
+            r.benchmark = opp_bench;
+            r.mode = (config == ModeConfig::Hybrid1 ||
+                      config == ModeConfig::Hybrid2)
+                         ? ModeSpec::opportunistic()
+                         : ModeSpec::strict();
+            break;
+        }
+        spec.jobs.push_back(std::move(r));
+    }
+    return spec;
+}
+
+} // namespace cmpqos

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Workload construction per the paper's evaluation methodology
+ * (Section 6): 10-job workloads where each job requests one core and
+ * 7 of 16 L2 ways; Poisson candidate arrivals at the load implied by
+ * a 128-CMP server (4 x 128 arrivals per job wall-clock time);
+ * deadlines assigned pseudo-randomly as 50% tight (1.05 tw), 30%
+ * moderate (2 tw), 20% relaxed (3 tw); and the execution-mode
+ * configurations of Table 2 plus the mixed-benchmark workloads of
+ * Table 3.
+ */
+
+#ifndef CMPQOS_QOS_WORKLOAD_SPEC_HH
+#define CMPQOS_QOS_WORKLOAD_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "qos/mode.hh"
+
+namespace cmpqos
+{
+
+/** The five configurations of Table 2. */
+enum class ModeConfig
+{
+    AllStrict,
+    Hybrid1,          // 70% Strict + 30% Opportunistic
+    Hybrid2,          // 40% Strict + 30% Elastic(5%) + 30% Opportunistic
+    AllStrictAutoDown, // 100% Strict with automatic mode downgrade
+    EqualPart,        // no admission control, equal L2 partition
+};
+
+const char *modeConfigName(ModeConfig c);
+
+/** The two mixed-benchmark workloads of Table 3. */
+enum class MixType
+{
+    Mix1, // hmmer Strict, gobmk Elastic(5%), bzip2 Opportunistic
+    Mix2, // hmmer Strict, bzip2 Elastic(5%), gobmk Opportunistic
+};
+
+const char *mixTypeName(MixType m);
+
+/** One accepted-slot request: what the next accepted job looks like. */
+struct JobRequest
+{
+    std::string benchmark;
+    ModeSpec mode = ModeSpec::strict();
+    /** (td - ta) / tw: 1.05 tight, 2.0 moderate, 3.0 relaxed. */
+    double deadlineFactor = 2.0;
+    unsigned cores = 1;
+    unsigned ways = 7;
+    /** Guaranteed bandwidth share, percent of peak (extension). */
+    unsigned bandwidthPercent = 0;
+};
+
+/** A full workload specification. */
+struct WorkloadSpec
+{
+    std::string name;
+    ModeConfig config = ModeConfig::AllStrict;
+    /** Pattern of accepted jobs, in acceptance order. */
+    std::vector<JobRequest> jobs;
+    /** Instructions per job (the paper simulates 200M; benches
+     *  default to a scaled-down length for speed — see DESIGN.md). */
+    InstCount jobInstructions = 50'000'000;
+    /** Mean candidate inter-arrival time as a fraction of the mean
+     *  job wall-clock time (4 x 128 arrivals per tw => 1/512). */
+    double interArrivalFraction = 1.0 / 512.0;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Deadline-factor mix: 50% tight (1.05), 30% moderate (2.0), 20%
+ * relaxed (3.0), pseudo-randomly shuffled with @p seed.
+ */
+std::vector<double> makeDeadlineMix(std::size_t n, std::uint64_t seed);
+
+/**
+ * Single-benchmark workload (e.g. ten instances of bzip2) under one
+ * of the Table 2 configurations.
+ */
+WorkloadSpec makeSingleBenchmarkWorkload(ModeConfig config,
+                                         const std::string &benchmark,
+                                         std::size_t n_jobs,
+                                         InstCount job_instructions,
+                                         std::uint64_t seed);
+
+/**
+ * Mixed-benchmark workload (Table 3) under one of the Table 2
+ * configurations. The benchmark-to-mode mapping of Table 3 applies
+ * in Hybrid-2; in Hybrid-1 only the Opportunistic assignment is kept
+ * (there is no Elastic mode in Hybrid-1); in the remaining
+ * configurations every job is Strict.
+ */
+WorkloadSpec makeMixedWorkload(ModeConfig config, MixType mix,
+                               std::size_t n_jobs,
+                               InstCount job_instructions,
+                               std::uint64_t seed);
+
+} // namespace cmpqos
+
+#endif // CMPQOS_QOS_WORKLOAD_SPEC_HH

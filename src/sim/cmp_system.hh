@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The simulated CMP node (Section 6): four 2GHz in-order cores with
+ * private L1s, a shared way-partitioned L2, and main memory behind a
+ * bandwidth-modelled bus. Holds per-core run queues (one pinned job
+ * for Strict/Elastic cores; possibly several time-shared jobs on
+ * Opportunistic or EqualPart cores) and advances the job at the head
+ * of a core's queue in instruction chunks.
+ */
+
+#ifndef CMPQOS_SIM_CMP_SYSTEM_HH
+#define CMPQOS_SIM_CMP_SYSTEM_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cache/config.hh"
+#include "cache/partitioned_cache.hh"
+#include "common/types.hh"
+#include "cpu/core.hh"
+#include "mem/bandwidth.hh"
+#include "mem/memory.hh"
+#include "sim/job_exec.hh"
+#include "workload/generator.hh"
+
+namespace cmpqos
+{
+
+/** Static configuration of one CMP node. */
+struct CmpConfig
+{
+    int numCores = 4;
+    CacheConfig l1 = CacheConfig::l1Default();
+    CacheConfig l2 = CacheConfig::l2Default();
+    MemoryConfig mem = MemoryConfig();
+    PartitionScheme scheme = PartitionScheme::PerSet;
+    TraceMode traceMode = TraceMode::L2Stream;
+    /** Instructions advanced per co-simulation chunk. */
+    InstCount chunkInstructions = 20'000;
+    /** OS timeslice for time-shared cores, in cycles. */
+    Cycle timeslice = 2'000'000;
+    /**
+     * Partition off-chip bandwidth per core (extension; see
+     * mem/bandwidth.hh). When off, all cores share one bus model.
+     */
+    bool bandwidthPartitioning = false;
+};
+
+/** Result of advancing one core by one chunk. */
+struct AdvanceResult
+{
+    InstCount instructions = 0;
+    double cycles = 0.0;
+    /** Job that completed during this chunk (already dequeued). */
+    JobExecution *completed = nullptr;
+};
+
+/**
+ * One CMP node: cores + shared L2 + memory + run queues.
+ */
+class CmpSystem
+{
+  public:
+    explicit CmpSystem(const CmpConfig &config = CmpConfig());
+
+    const CmpConfig &config() const { return config_; }
+    int numCores() const { return config_.numCores; }
+
+    PartitionedCache &l2() { return l2_; }
+    const PartitionedCache &l2() const { return l2_; }
+    MainMemory &memory() { return memory_; }
+    const MainMemory &memory() const { return memory_; }
+
+    /** Bandwidth regulator (nullptr unless bandwidthPartitioning). */
+    BandwidthRegulator *bandwidth() { return bandwidth_.get(); }
+    const BandwidthRegulator *bandwidth() const
+    {
+        return bandwidth_.get();
+    }
+    InOrderCore &core(CoreId c);
+    const InOrderCore &core(CoreId c) const;
+
+    /** Append a job to a core's run queue. */
+    void enqueueJob(CoreId core, JobExecution *job);
+
+    /** Remove a job from whatever queue holds it (no-op if absent). */
+    void dequeueJob(JobExecution *job);
+
+    /** Move a job between cores (e.g., auto-downgrade promotion). */
+    void moveJob(JobExecution *job, CoreId to);
+
+    /** Job currently at the head of a core's queue (nullptr if idle). */
+    JobExecution *runningJob(CoreId core) const;
+
+    /** Jobs queued on a core. */
+    std::size_t queueLength(CoreId core) const;
+
+    /** Core hosting @p job, or invalidCore. */
+    CoreId coreOf(const JobExecution *job) const;
+
+    /** Rotate a core's run queue (timeslice expiry). */
+    void rotate(CoreId core);
+
+    /**
+     * Advance the job at the head of @p core's queue by up to
+     * @p max_instr instructions, driving its accesses through the
+     * memory hierarchy and charging cycles via the additive model.
+     * Advances the core's local time. No-op when the core is idle.
+     */
+    AdvanceResult advance(CoreId core, InstCount max_instr);
+
+    /** Total jobs currently queued across all cores. */
+    std::size_t totalQueued() const;
+
+    /** Lowest-id core with an empty run queue, or invalidCore. */
+    CoreId findIdleCore() const;
+
+    /** Core with the shortest queue (ties to lowest id). */
+    CoreId leastLoadedCore() const;
+
+  private:
+    void checkCore(CoreId core) const;
+
+    CmpConfig config_;
+    std::vector<std::unique_ptr<InOrderCore>> cores_;
+    PartitionedCache l2_;
+    MainMemory memory_;
+    std::unique_ptr<BandwidthRegulator> bandwidth_;
+    std::vector<std::deque<JobExecution *>> queues_;
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_SIM_CMP_SYSTEM_HH

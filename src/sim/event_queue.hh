@@ -1,0 +1,98 @@
+/**
+ * @file
+ * A minimal discrete-event queue: time-ordered callbacks with FIFO
+ * tie-breaking, used for job arrivals, reservation-slot starts,
+ * mode-switch points, and repartitioning intervals.
+ */
+
+#ifndef CMPQOS_SIM_EVENT_QUEUE_HH
+#define CMPQOS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cmpqos
+{
+
+/**
+ * Priority queue of (time, callback) events.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p fn at absolute cycle @p when. */
+    void
+    schedule(Cycle when, Callback fn, std::string label = "")
+    {
+        heap_.push(Event{when, seq_++, std::move(label), std::move(fn)});
+    }
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Time of the earliest pending event; maxCycle if none. */
+    Cycle
+    nextTime() const
+    {
+        return heap_.empty() ? maxCycle : heap_.top().when;
+    }
+
+    /** Label of the earliest pending event (debugging aid). */
+    const std::string &
+    nextLabel() const
+    {
+        static const std::string none = "";
+        return heap_.empty() ? none : heap_.top().label;
+    }
+
+    /**
+     * Pop and run the earliest event.
+     * @return the event's scheduled time
+     */
+    Cycle
+    runNext()
+    {
+        Event ev = heap_.top();
+        heap_.pop();
+        ev.fn();
+        return ev.when;
+    }
+
+    /** Drop all pending events. */
+    void
+    clear()
+    {
+        heap_ = decltype(heap_)();
+    }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        std::string label;
+        Callback fn;
+
+        bool
+        operator>(const Event &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,66 @@
+#include "report.hh"
+
+#include <ostream>
+
+#include "stats/table.hh"
+
+namespace cmpqos
+{
+
+void
+printSystemReport(const CmpSystem &sys, std::ostream &os)
+{
+    using stats::TablePrinter;
+
+    TablePrinter cores("cores");
+    cores.header({"core", "class", "ways", "instr", "cycles", "IPC",
+                  "idle cycles", "bw share"});
+    for (int c = 0; c < sys.numCores(); ++c) {
+        const auto &ledger = sys.core(c).ledger();
+        cores.row({std::to_string(c),
+                   coreClassName(sys.l2().coreClass(c)),
+                   std::to_string(sys.l2().targetWays(c)),
+                   TablePrinter::fmtInt(
+                       static_cast<long long>(ledger.instructions)),
+                   TablePrinter::fmt(ledger.cycles / 1e6, 1) + "M",
+                   TablePrinter::fmt(ledger.ipc(), 3),
+                   TablePrinter::fmt(ledger.idleCycles / 1e6, 1) + "M",
+                   std::to_string(sys.bandwidth()->share(c)) + "%"});
+    }
+    cores.print(os);
+
+    TablePrinter l2("shared L2");
+    l2.header({"core", "accesses", "misses", "miss rate", "writebacks",
+               "interference evictions", "blocks held"});
+    for (int c = 0; c < sys.numCores(); ++c) {
+        const auto &st = sys.l2().coreStats(c);
+        l2.row({std::to_string(c),
+                TablePrinter::fmtInt(
+                    static_cast<long long>(st.accesses)),
+                TablePrinter::fmtInt(static_cast<long long>(st.misses)),
+                TablePrinter::fmtPercent(st.missRate() * 100.0, 1),
+                TablePrinter::fmtInt(
+                    static_cast<long long>(st.writebacks)),
+                TablePrinter::fmtInt(
+                    static_cast<long long>(st.interferenceEvictions)),
+                TablePrinter::fmtInt(static_cast<long long>(
+                    sys.l2().blocksOwnedBy(c)))});
+    }
+    l2.print(os);
+
+    TablePrinter mem("memory");
+    mem.header({"total bytes", "bus utilisation", "miss penalty",
+                "saturated"});
+    mem.row({TablePrinter::fmt(
+                 static_cast<double>(sys.memory().totalBytes()) / 1e6,
+                 1) +
+                 "MB",
+             TablePrinter::fmtPercent(
+                 sys.memory().utilization() * 100.0, 1),
+             TablePrinter::fmt(sys.memory().missPenalty(false), 0) +
+                 " cycles",
+             sys.memory().saturated() ? "yes" : "no"});
+    mem.print(os);
+}
+
+} // namespace cmpqos

@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Human-readable system reports: per-core execution ledgers, L2
+ * partition state and per-core cache statistics, and memory/bus
+ * figures — the summary a simulator prints at the end of a run.
+ */
+
+#ifndef CMPQOS_SIM_REPORT_HH
+#define CMPQOS_SIM_REPORT_HH
+
+#include <iosfwd>
+
+#include "sim/cmp_system.hh"
+
+namespace cmpqos
+{
+
+/** Print core / cache / memory summary tables for @p sys. */
+void printSystemReport(const CmpSystem &sys, std::ostream &os);
+
+} // namespace cmpqos
+
+#endif // CMPQOS_SIM_REPORT_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The co-simulation driver: interleaves per-core job execution in
+ * small instruction chunks (so jobs sharing the L2 interleave their
+ * access streams realistically) with a discrete-event queue for job
+ * arrivals, reservation-slot starts, and mode switches.
+ *
+ * Scheduling rule: always advance the laggard — the active core with
+ * the smallest local time — unless a pending event is due first.
+ * Event firing may be late by at most one chunk's worth of cycles
+ * (bounded skew); chunks default to 20K instructions, well below any
+ * policy-relevant time constant in the paper (the shortest is the 2M
+ * instruction repartitioning interval).
+ */
+
+#ifndef CMPQOS_SIM_SIMULATION_HH
+#define CMPQOS_SIM_SIMULATION_HH
+
+#include <functional>
+
+#include "common/types.hh"
+#include "sim/cmp_system.hh"
+#include "sim/event_queue.hh"
+
+namespace cmpqos
+{
+
+/**
+ * Drives one CmpSystem forward in time.
+ */
+class Simulation
+{
+  public:
+    using CompletionHandler = std::function<void(JobExecution *)>;
+    /** Called after every chunk: (core, job advanced). */
+    using QuantumHook = std::function<void(CoreId, JobExecution *)>;
+
+    explicit Simulation(CmpSystem &sys);
+
+    CmpSystem &system() { return sys_; }
+
+    /** Current global simulated time in cycles. */
+    Cycle now() const { return now_; }
+
+    /** Schedule a callback at absolute cycle @p when. */
+    void schedule(Cycle when, EventQueue::Callback fn,
+                  std::string label = "");
+
+    /** Schedule a callback @p delay cycles from now. */
+    void scheduleAfter(Cycle delay, EventQueue::Callback fn,
+                       std::string label = "");
+
+    /** Invoked whenever a job completes (after it is dequeued). */
+    void setCompletionHandler(CompletionHandler h)
+    {
+        onComplete_ = std::move(h);
+    }
+
+    /** Invoked after every execution chunk (resource stealing etc.). */
+    void setQuantumHook(QuantumHook h) { quantumHook_ = std::move(h); }
+
+    /**
+     * Place @p job at the back of @p core's run queue, syncing the
+     * core's local clock (and idle accounting) to global time first.
+     */
+    void startJobOn(CoreId core, JobExecution *job);
+
+    /**
+     * Run until the event queue drains and all cores idle, until
+     * simulated time passes @p until, or until requestStop().
+     */
+    void run(Cycle until = maxCycle);
+
+    void requestStop() { stop_ = true; }
+    bool stopped() const { return stop_; }
+
+    std::uint64_t eventsProcessed() const { return eventsProcessed_; }
+    std::uint64_t chunksExecuted() const { return chunksExecuted_; }
+
+  private:
+    /** Active core with the smallest local time; invalidCore if none. */
+    CoreId pickLaggard() const;
+
+    CmpSystem &sys_;
+    EventQueue events_;
+    Cycle now_ = 0;
+    bool stop_ = false;
+    CompletionHandler onComplete_;
+    QuantumHook quantumHook_;
+    std::vector<double> sliceCycles_;
+    std::uint64_t eventsProcessed_ = 0;
+    std::uint64_t chunksExecuted_ = 0;
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_SIM_SIMULATION_HH

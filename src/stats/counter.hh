@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Scalar event counters, in the spirit of gem5's Stats package.
+ */
+
+#ifndef CMPQOS_STATS_COUNTER_HH
+#define CMPQOS_STATS_COUNTER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace cmpqos::stats
+{
+
+/**
+ * A named monotonically adjustable scalar counter.
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    std::uint64_t value() const { return value_; }
+
+    void inc(std::uint64_t delta = 1) { value_ += delta; }
+    void set(std::uint64_t v) { value_ = v; }
+    void reset() { value_ = 0; }
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(std::uint64_t d) { value_ += d; return *this; }
+
+  private:
+    std::string name_;
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Ratio of two counters, guarded against division by zero.
+ * Returned as a plain double; callers decide formatting.
+ */
+inline double
+ratio(std::uint64_t numer, std::uint64_t denom)
+{
+    return denom == 0 ? 0.0
+                      : static_cast<double>(numer) /
+                            static_cast<double>(denom);
+}
+
+/** Percentage change from @p before to @p after (positive = increase). */
+inline double
+percentChange(double before, double after)
+{
+    return before == 0.0 ? 0.0 : (after - before) / before * 100.0;
+}
+
+} // namespace cmpqos::stats
+
+#endif // CMPQOS_STATS_COUNTER_HH

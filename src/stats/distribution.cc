@@ -1,0 +1,79 @@
+#include "distribution.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cmpqos::stats
+{
+
+void
+Distribution::sample(double v)
+{
+    samples_.push_back(v);
+    sum_ += v;
+    sumSq_ += v * v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+}
+
+double
+Distribution::min() const
+{
+    cmpqos_assert(!samples_.empty(), "min() on empty distribution");
+    return min_;
+}
+
+double
+Distribution::max() const
+{
+    cmpqos_assert(!samples_.empty(), "max() on empty distribution");
+    return max_;
+}
+
+double
+Distribution::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return sum_ / static_cast<double>(samples_.size());
+}
+
+double
+Distribution::stddev() const
+{
+    const std::size_t n = samples_.size();
+    if (n < 2)
+        return 0.0;
+    const double m = mean();
+    double var = (sumSq_ - static_cast<double>(n) * m * m) /
+                 static_cast<double>(n - 1);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double
+Distribution::percentile(double p) const
+{
+    cmpqos_assert(!samples_.empty(), "percentile() on empty distribution");
+    cmpqos_assert(p >= 0.0 && p <= 100.0, "percentile p out of range");
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    if (p <= 0.0)
+        return sorted.front();
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+    return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+void
+Distribution::reset()
+{
+    samples_.clear();
+    sum_ = 0.0;
+    sumSq_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
+}
+
+} // namespace cmpqos::stats

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Running sample distributions (min / max / mean / stddev) used for
+ * the paper's candle plots (Figure 6: min/avg/max wall-clock time).
+ */
+
+#ifndef CMPQOS_STATS_DISTRIBUTION_HH
+#define CMPQOS_STATS_DISTRIBUTION_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cmpqos::stats
+{
+
+/**
+ * Accumulates scalar samples and reports summary statistics.
+ * Samples are retained so percentiles can be computed exactly.
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+    explicit Distribution(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Record one sample. */
+    void sample(double v);
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    double min() const;
+    double max() const;
+    double mean() const;
+    /** Sample standard deviation (n-1 denominator); 0 if n < 2. */
+    double stddev() const;
+    double sum() const { return sum_; }
+
+    /**
+     * Exact percentile by nearest-rank, p in [0, 100].
+     * Sorts a copy; intended for end-of-run reporting.
+     */
+    double percentile(double p) const;
+
+    const std::vector<double> &samples() const { return samples_; }
+
+    void reset();
+
+  private:
+    std::string name_;
+    std::vector<double> samples_;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace cmpqos::stats
+
+#endif // CMPQOS_STATS_DISTRIBUTION_HH

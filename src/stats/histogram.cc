@@ -1,0 +1,54 @@
+#include "histogram.hh"
+
+#include "common/logging.hh"
+
+namespace cmpqos::stats
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets,
+                     std::string name)
+    : name_(std::move(name)), lo_(lo), hi_(hi),
+      width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0)
+{
+    cmpqos_assert(hi > lo, "histogram range must be non-empty");
+    cmpqos_assert(buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(double v, std::uint64_t weight)
+{
+    std::size_t idx;
+    if (v < lo_) {
+        underflow_ += weight;
+        idx = 0;
+    } else if (v >= hi_) {
+        overflow_ += weight;
+        idx = counts_.size() - 1;
+    } else {
+        idx = static_cast<std::size_t>((v - lo_) / width_);
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+    }
+    counts_[idx] += weight;
+    total_ += weight;
+    sum_ += v * static_cast<double>(weight);
+}
+
+double
+Histogram::bucketLo(std::size_t i) const
+{
+    cmpqos_assert(i < counts_.size(), "bucket index out of range");
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts_)
+        c = 0;
+    total_ = underflow_ = overflow_ = 0;
+    sum_ = 0.0;
+}
+
+} // namespace cmpqos::stats

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fixed-width bucket histogram for distributions over bounded ranges
+ * (e.g., per-set occupancy, stack-distance realisations).
+ */
+
+#ifndef CMPQOS_STATS_HISTOGRAM_HH
+#define CMPQOS_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cmpqos::stats
+{
+
+/**
+ * Histogram over [lo, hi) with a fixed bucket count; samples outside
+ * the range are clamped into the first/last bucket and counted.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets,
+              std::string name = "");
+
+    void sample(double v, std::uint64_t weight = 1);
+
+    std::size_t buckets() const { return counts_.size(); }
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+    /** Lower edge of bucket i. */
+    double bucketLo(std::size_t i) const;
+    std::uint64_t totalSamples() const { return total_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    const std::string &name() const { return name_; }
+
+    /** Mean of recorded samples (using bucket midpoints for clamped). */
+    double mean() const { return total_ ? sum_ / total_ : 0.0; }
+
+    void reset();
+
+  private:
+    std::string name_;
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace cmpqos::stats
+
+#endif // CMPQOS_STATS_HISTOGRAM_HH

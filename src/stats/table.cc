@@ -1,0 +1,125 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace cmpqos::stats
+{
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title))
+{
+}
+
+void
+TablePrinter::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TablePrinter::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    // Compute per-column widths over header and all rows.
+    std::size_t cols = header_.size();
+    for (const auto &r : rows_)
+        cols = std::max(cols, r.size());
+    std::vector<std::size_t> widths(cols, 0);
+    auto widen = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i)
+            widths[i] = std::max(widths[i], r[i].size());
+    };
+    if (!header_.empty())
+        widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < cols; ++i) {
+            const std::string cell = i < r.size() ? r[i] : "";
+            os << cell;
+            if (i + 1 < cols)
+                os << std::string(widths[i] - cell.size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t line = 0;
+        for (std::size_t i = 0; i < cols; ++i)
+            line += widths[i] + (i + 1 < cols ? 2 : 0);
+        os << std::string(line, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+void
+TablePrinter::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (std::size_t i = 0; i < r.size(); ++i) {
+            if (i)
+                os << ',';
+            os << r[i];
+        }
+        os << '\n';
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+std::string
+TablePrinter::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::fmtPercent(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::fmtInt(long long v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+    return buf;
+}
+
+std::string
+asciiBar(const std::string &label, double value, double maxValue, int width,
+         const std::string &suffix)
+{
+    std::ostringstream oss;
+    int filled = 0;
+    if (maxValue > 0.0) {
+        filled = static_cast<int>(value / maxValue *
+                                  static_cast<double>(width) + 0.5);
+        filled = std::clamp(filled, 0, width);
+    }
+    oss << label << " |" << std::string(filled, '#')
+        << std::string(width - filled, ' ') << "| "
+        << TablePrinter::fmt(value, 3) << suffix;
+    return oss.str();
+}
+
+} // namespace cmpqos::stats

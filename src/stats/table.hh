@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Paper-style ASCII table and series printing for the benchmark
+ * harnesses. Every bench binary prints the rows/columns of the table
+ * or figure it reproduces through this printer, plus optional CSV.
+ */
+
+#ifndef CMPQOS_STATS_TABLE_HH
+#define CMPQOS_STATS_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cmpqos::stats
+{
+
+/**
+ * Collects rows of string cells and renders them with aligned columns.
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::string title = "");
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append one data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render to the given stream as an aligned ASCII table. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header first if present). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows (excludes header). */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Format helpers for consistent numeric cells. */
+    static std::string fmt(double v, int precision = 3);
+    static std::string fmtPercent(double v, int precision = 1);
+    static std::string fmtInt(long long v);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Render a horizontal ASCII bar chart row: label, value, scaled bar.
+ * Useful for figure-style output (e.g., normalized throughput bars).
+ */
+std::string asciiBar(const std::string &label, double value, double maxValue,
+                     int width = 40, const std::string &suffix = "");
+
+} // namespace cmpqos::stats
+
+#endif // CMPQOS_STATS_TABLE_HH

@@ -1,0 +1,214 @@
+#include "benchmark.hh"
+
+#include "cache/config.hh"
+#include "common/logging.hh"
+
+namespace cmpqos
+{
+
+namespace
+{
+
+/** Blocks per L2 way in the default geometry (128KB / 64B = 2048). */
+std::uint64_t
+blocksPerWay()
+{
+    const CacheConfig l2 = CacheConfig::l2Default();
+    return l2.numSets();
+}
+
+using PC = ProfileComponent;
+
+/**
+ * Build the suite. Distance parameters are in 64B blocks; one L2 way
+ * holds 2048 blocks. Calibration targets:
+ *  - Table 1 (at 7 ways): bzip2 20% / 0.0055 MPI, hmmer 17% / 0.001,
+ *    gobmk 24% / 0.004.
+ *  - Figure 1: bzip2 alone IPC ~0.375; equal-partition IPC falls
+ *    below the 0.25 target at 3 and 4 co-runners.
+ *  - Figure 4 grouping of all fifteen benchmarks.
+ */
+std::vector<BenchmarkProfile>
+buildSuite()
+{
+    std::vector<BenchmarkProfile> v;
+
+    auto add = [&](std::string name, std::string input,
+                   SensitivityGroup grp, double cpi, double h2,
+                   double wr_frac, std::uint64_t skipped_m,
+                   std::vector<PC> comps) {
+        BenchmarkProfile b;
+        b.name = std::move(name);
+        b.inputSet = std::move(input);
+        b.group = grp;
+        b.cpiL1Inf = cpi;
+        b.h2 = h2;
+        b.memRefsPerInstr = 0.35;
+        b.writeFraction = wr_frac;
+        b.skippedInstrM = skipped_m;
+        b.l2Profile = StackDistanceProfile(std::move(comps));
+        v.push_back(std::move(b));
+    };
+
+    // ---- Group 1: highly cache-sensitive --------------------------
+    // bzip2's mid-range window is placed so the miss-rate knee falls
+    // between 5.3 and 8 of 16 ways, reproducing Figure 1 (IPC target
+    // met with 2 equal-partition co-runners, violated with 3-4). A
+    // set-associative transition that wide necessarily lifts the
+    // 7-way miss rate above the paper's 20% (to ~28%); h2 is chosen
+    // so L2 misses-per-instruction at 7 ways still matches Table 1's
+    // 0.0055 (see EXPERIMENTS.md).
+    add("bzip2", "ref.chicken", SensitivityGroup::HighlySensitive,
+        0.80, 0.0233, 0.32, 315,
+        {PC::uniform(0.38, 1, 1500), PC::uniform(0.16, 2300, 7000),
+         PC::uniform(0.26, 10000, 12800), PC::cold(0.20)});
+
+    add("mcf", "ref", SensitivityGroup::HighlySensitive,
+        0.90, 0.060, 0.28, 180,
+        {PC::uniform(0.20, 1, 1800), PC::uniform(0.25, 4000, 13800),
+         PC::uniform(0.25, 16000, 60000), PC::cold(0.30)});
+
+    add("soplex", "train", SensitivityGroup::HighlySensitive,
+        0.85, 0.035, 0.30, 92,
+        {PC::uniform(0.30, 1, 1700), PC::uniform(0.35, 3000, 13500),
+         PC::uniform(0.15, 20000, 50000), PC::cold(0.20)});
+
+    add("sphinx", "ref.an4", SensitivityGroup::HighlySensitive,
+        0.80, 0.025, 0.22, 210,
+        {PC::uniform(0.30, 1, 1500), PC::uniform(0.40, 2500, 12500),
+         PC::uniform(0.18, 18000, 40000), PC::cold(0.12)});
+
+    add("astar", "ref.BigLakes", SensitivityGroup::HighlySensitive,
+        0.95, 0.020, 0.27, 150,
+        {PC::uniform(0.35, 1, 1600), PC::uniform(0.15, 1, 800),
+         PC::uniform(0.35, 2200, 13000), PC::cold(0.15)});
+
+    // ---- Group 2: moderately sensitive ----------------------------
+    // Base CPIs here reflect an in-order core (Section 6); they also
+    // damp relative CPI sensitivity so the measured groups separate
+    // the way Figure 4 shows.
+    add("hmmer", "ref.retro", SensitivityGroup::ModeratelySensitive,
+        1.40, 0.00588, 0.33, 0,
+        {PC::uniform(0.66, 1, 1500), PC::uniform(0.17, 3000, 12000),
+         PC::cold(0.17)});
+
+    add("gcc", "ref.166", SensitivityGroup::ModeratelySensitive,
+        1.40, 0.007, 0.30, 60,
+        {PC::uniform(0.55, 1, 1500), PC::uniform(0.20, 2500, 10000),
+         PC::cold(0.25)});
+
+    add("perl", "ref.diffmail", SensitivityGroup::ModeratelySensitive,
+        1.30, 0.006, 0.31, 85,
+        {PC::uniform(0.62, 1, 1200), PC::uniform(0.18, 2000, 9000),
+         PC::cold(0.20)});
+
+    add("h264ref", "ref.foreman", SensitivityGroup::ModeratelySensitive,
+        1.00, 0.007, 0.26, 130,
+        {PC::uniform(0.70, 1, 1000), PC::uniform(0.12, 2000, 11000),
+         PC::cold(0.18)});
+
+    // ---- Group 3: insensitive --------------------------------------
+    // Tight hot sets: even a single way mostly retains them, so CPI
+    // barely moves with allocation (ideal resource-stealing donors).
+    add("gobmk", "ref.nngs", SensitivityGroup::Insensitive,
+        0.85, 0.01667, 0.29, 267,
+        {PC::uniform(0.76, 1, 500), PC::cold(0.24)});
+
+    add("sjeng", "ref", SensitivityGroup::Insensitive,
+        0.90, 0.004, 0.25, 110,
+        {PC::uniform(0.78, 1, 600), PC::cold(0.22)});
+
+    add("libquantum", "ref", SensitivityGroup::Insensitive,
+        0.60, 0.030, 0.20, 40,
+        {PC::uniform(0.25, 1, 600), PC::cold(0.75)});
+
+    add("milc", "train", SensitivityGroup::Insensitive,
+        0.70, 0.025, 0.35, 75,
+        {PC::uniform(0.40, 1, 1000), PC::cold(0.60)});
+
+    add("namd", "ref", SensitivityGroup::Insensitive,
+        0.85, 0.003, 0.24, 95,
+        {PC::uniform(0.85, 1, 400), PC::cold(0.15)});
+
+    add("povray", "ref", SensitivityGroup::Insensitive,
+        0.60, 0.001, 0.21, 55,
+        {PC::uniform(0.92, 1, 500), PC::cold(0.08)});
+
+    return v;
+}
+
+} // namespace
+
+const char *
+sensitivityGroupName(SensitivityGroup g)
+{
+    switch (g) {
+      case SensitivityGroup::HighlySensitive: return "Group1-High";
+      case SensitivityGroup::ModeratelySensitive: return "Group2-Moderate";
+      case SensitivityGroup::Insensitive: return "Group3-Insensitive";
+    }
+    return "?";
+}
+
+SensitivityGroup
+classifySensitivity(double cpi_increase_7to1, double cpi_increase_7to4)
+{
+    // Thresholds on the dominant (7 -> 1 way) axis, with the 7 -> 4
+    // axis breaking borderline cases upward: a benchmark already
+    // hurting at 4 ways is clearly in the sensitive cluster.
+    if (cpi_increase_7to1 >= 0.38 || cpi_increase_7to4 >= 0.15)
+        return SensitivityGroup::HighlySensitive;
+    if (cpi_increase_7to1 >= 0.17)
+        return SensitivityGroup::ModeratelySensitive;
+    return SensitivityGroup::Insensitive;
+}
+
+double
+BenchmarkProfile::expectedL2MissRate(unsigned ways) const
+{
+    return l2Profile.expectedMissRateSetAssoc(
+        ways, CacheConfig::l2Default().numSets());
+}
+
+double
+BenchmarkProfile::expectedCpi(unsigned ways) const
+{
+    const CacheConfig l2 = CacheConfig::l2Default();
+    const double t2 = static_cast<double>(l2.hitLatency);
+    const double tm = 300.0;
+    const double hm = expectedL2Mpi(ways);
+    return cpiL1Inf + h2 * t2 + hm * tm;
+}
+
+const std::vector<BenchmarkProfile> &
+BenchmarkRegistry::all()
+{
+    static const std::vector<BenchmarkProfile> suite = buildSuite();
+    return suite;
+}
+
+const BenchmarkProfile &
+BenchmarkRegistry::get(const std::string &name)
+{
+    for (const auto &b : all())
+        if (b.name == name)
+            return b;
+    cmpqos_fatal("unknown benchmark '%s'", name.c_str());
+}
+
+bool
+BenchmarkRegistry::has(const std::string &name)
+{
+    for (const auto &b : all())
+        if (b.name == name)
+            return true;
+    return false;
+}
+
+std::vector<std::string>
+BenchmarkRegistry::representatives()
+{
+    return {"bzip2", "hmmer", "gobmk"};
+}
+
+} // namespace cmpqos

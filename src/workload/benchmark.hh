@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Synthetic models of the fifteen SPEC2006 C/C++ benchmarks the paper
+ * evaluates (Section 6), and their cache-sensitivity classification
+ * (Figure 4).
+ *
+ * Substitution note (see DESIGN.md): we cannot run SPEC2006 binaries,
+ * so each benchmark is modelled by (a) the additive-CPI parameters
+ * the paper itself uses (CPI with infinite L1, L2 accesses per
+ * instruction h2) and (b) a stack-distance mixture whose analytic
+ * miss-rate-vs-capacity curve is calibrated to Table 1 (miss rate and
+ * misses-per-instruction at 7 of 16 L2 ways) for the three
+ * representative benchmarks, and to the Figure 4 sensitivity groups
+ * for the rest.
+ */
+
+#ifndef CMPQOS_WORKLOAD_BENCHMARK_HH
+#define CMPQOS_WORKLOAD_BENCHMARK_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "workload/profile.hh"
+
+namespace cmpqos
+{
+
+/** Cache-space sensitivity groups from Figure 4. */
+enum class SensitivityGroup
+{
+    HighlySensitive,    // Group 1: ideal resource-stealing recipients
+    ModeratelySensitive, // Group 2
+    Insensitive,        // Group 3: ideal resource-stealing donors
+};
+
+const char *sensitivityGroupName(SensitivityGroup g);
+
+/**
+ * Classify a benchmark from its measured CPI increases when its L2
+ * allocation shrinks from 7 ways to 1 way and from 7 ways to 4 ways
+ * (the two axes of Figure 4). Fractions, not percent.
+ */
+SensitivityGroup classifySensitivity(double cpi_increase_7to1,
+                                     double cpi_increase_7to4);
+
+/**
+ * Static description of one synthetic benchmark.
+ */
+struct BenchmarkProfile
+{
+    std::string name;
+    /** SPEC input set label (Table 1 flavour; documentation only). */
+    std::string inputSet;
+    /** Expected sensitivity group (Figure 4). */
+    SensitivityGroup group = SensitivityGroup::Insensitive;
+
+    /** CPI with an infinite L1 (Luo's model component, Section 4.2). */
+    double cpiL1Inf = 1.0;
+    /** L2 accesses per instruction (h2 in the paper's CPI model). */
+    double h2 = 0.01;
+    /** Memory references per instruction (full-trace mode only). */
+    double memRefsPerInstr = 0.35;
+    /** Fraction of accesses that are stores. */
+    double writeFraction = 0.3;
+    /** Initialisation instructions skipped (Table 1 flavour), in M. */
+    std::uint64_t skippedInstrM = 0;
+
+    /** Stack-distance mixture of the post-L1 (L2) access stream. */
+    StackDistanceProfile l2Profile;
+
+    /** Analytic L2 miss rate with @p ways of the default L2. */
+    double expectedL2MissRate(unsigned ways) const;
+
+    /** Analytic L2 misses per instruction with @p ways. */
+    double
+    expectedL2Mpi(unsigned ways) const
+    {
+        return h2 * expectedL2MissRate(ways);
+    }
+
+    /**
+     * Analytic CPI with @p ways using the paper's additive model with
+     * default latencies (t2 = 10, tm = 300).
+     */
+    double expectedCpi(unsigned ways) const;
+};
+
+/**
+ * The fifteen-benchmark suite.
+ */
+class BenchmarkRegistry
+{
+  public:
+    /** All fifteen benchmarks, in the paper's listing order. */
+    static const std::vector<BenchmarkProfile> &all();
+
+    /** Lookup by name; fatal() if unknown. */
+    static const BenchmarkProfile &get(const std::string &name);
+
+    /** @return true if @p name names a benchmark. */
+    static bool has(const std::string &name);
+
+    /**
+     * The three representatives the paper selects: bzip2 (Group 1),
+     * hmmer (Group 2) and gobmk (Group 3).
+     */
+    static std::vector<std::string> representatives();
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_WORKLOAD_BENCHMARK_HH

@@ -1,0 +1,113 @@
+#include "stack_sampler.hh"
+
+#include "common/logging.hh"
+
+namespace cmpqos
+{
+
+LruStackSampler::LruStackSampler(std::size_t max_live_blocks)
+    : maxLive_(max_live_blocks), slotCapacity_(4 * max_live_blocks),
+      occupied_(4 * max_live_blocks),
+      slotBlock_(4 * max_live_blocks, 0)
+{
+    cmpqos_assert(max_live_blocks >= 2, "stack needs at least two blocks");
+}
+
+void
+LruStackSampler::pushTop(std::uint64_t block)
+{
+    if (nextSlot_ >= slotCapacity_)
+        compact();
+    const std::size_t slot = nextSlot_++;
+    occupied_.add(slot, 1);
+    slotBlock_[slot] = block;
+    if (block >= blockSlot_.size())
+        blockSlot_.resize(block + 1, noSlot);
+    blockSlot_[block] = slot;
+}
+
+void
+LruStackSampler::dropLru()
+{
+    // LRU block = occupant of the lowest occupied slot (rank 1).
+    const std::size_t slot = static_cast<std::size_t>(occupied_.findKth(1));
+    const std::uint64_t block = slotBlock_[slot];
+    occupied_.add(slot, -1);
+    blockSlot_[block] = noSlot;
+    --liveCount_;
+}
+
+std::uint64_t
+LruStackSampler::accessNew()
+{
+    if (liveCount_ >= maxLive_)
+        dropLru();
+    const std::uint64_t block = nextBlockId_++;
+    pushTop(block);
+    ++liveCount_;
+    return block;
+}
+
+std::uint64_t
+LruStackSampler::accessAtDistance(std::uint64_t d)
+{
+    cmpqos_assert(d >= 1, "stack distance must be >= 1");
+    if (d > liveCount_)
+        return accessNew();
+
+    // The d-th most recently used = rank (live - d + 1) from the
+    // bottom among occupied slots.
+    const std::int64_t rank =
+        static_cast<std::int64_t>(liveCount_ - d + 1);
+    const std::size_t slot =
+        static_cast<std::size_t>(occupied_.findKth(rank));
+    const std::uint64_t block = slotBlock_[slot];
+
+    if (d > 1) {
+        // Move to top; a d == 1 access is already at the top.
+        occupied_.add(slot, -1);
+        blockSlot_[block] = noSlot;
+        pushTop(block);
+    }
+    return block;
+}
+
+std::uint64_t
+LruStackSampler::peekAtDistance(std::uint64_t d) const
+{
+    cmpqos_assert(d >= 1 && d <= liveCount_,
+                  "peek distance %llu out of [1,%zu]",
+                  static_cast<unsigned long long>(d), liveCount_);
+    const std::int64_t rank =
+        static_cast<std::int64_t>(liveCount_ - d + 1);
+    const std::size_t slot =
+        static_cast<std::size_t>(occupied_.findKth(rank));
+    return slotBlock_[slot];
+}
+
+void
+LruStackSampler::compact()
+{
+    // Gather live blocks in recency order (bottom to top) and
+    // reassign them to dense slots. Note: during accessAtDistance the
+    // moving block is briefly out of the tree, so the occupied count
+    // (not liveCount_) is authoritative here.
+    const std::size_t occupied_count =
+        static_cast<std::size_t>(occupied_.total());
+    std::vector<std::uint64_t> order;
+    order.reserve(occupied_count);
+    for (std::size_t rank = 1; rank <= occupied_count; ++rank) {
+        const std::size_t slot = static_cast<std::size_t>(
+            occupied_.findKth(static_cast<std::int64_t>(rank)));
+        order.push_back(slotBlock_[slot]);
+    }
+    occupied_ = FenwickTree(slotCapacity_);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        occupied_.add(i, 1);
+        slotBlock_[i] = order[i];
+        blockSlot_[order[i]] = i;
+    }
+    nextSlot_ = order.size();
+}
+
+} // namespace cmpqos

@@ -1,0 +1,132 @@
+#include "trace.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace cmpqos
+{
+
+namespace
+{
+constexpr char traceMagic[4] = {'C', 'Q', 'T', '1'};
+constexpr std::streamoff headerBytes = 4 + 4 + 8;
+
+template <typename T>
+void
+writeRaw(std::ofstream &out, const T &v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+bool
+readRaw(std::ifstream &in, T &v)
+{
+    in.read(reinterpret_cast<char *>(&v), sizeof(T));
+    return static_cast<bool>(in);
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path, unsigned block_size)
+    : out_(path, std::ios::binary | std::ios::trunc),
+      blockSize_(block_size)
+{
+    if (!out_)
+        cmpqos_fatal("cannot open trace file '%s' for writing",
+                     path.c_str());
+    out_.write(traceMagic, sizeof(traceMagic));
+    writeRaw(out_, static_cast<std::uint32_t>(blockSize_));
+    writeRaw(out_, std::uint64_t{0}); // patched in close()
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const TraceRecord &record)
+{
+    cmpqos_assert(!closed_, "append to a closed trace");
+    writeRaw(out_, static_cast<std::uint64_t>(record.instruction));
+    writeRaw(out_, static_cast<std::uint64_t>(record.addr));
+    writeRaw(out_, static_cast<std::uint8_t>(record.isWrite ? 1 : 0));
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    out_.seekp(8, std::ios::beg); // past magic + block size
+    writeRaw(out_, count_);
+    out_.close();
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : in_(path, std::ios::binary)
+{
+    if (!in_)
+        cmpqos_fatal("cannot open trace file '%s'", path.c_str());
+    char magic[4];
+    in_.read(magic, sizeof(magic));
+    if (!in_ || std::memcmp(magic, traceMagic, sizeof(magic)) != 0)
+        cmpqos_fatal("'%s' is not a cmpqos trace", path.c_str());
+    std::uint32_t bs = 0;
+    if (!readRaw(in_, bs) || !readRaw(in_, recordCount_))
+        cmpqos_fatal("truncated trace header in '%s'", path.c_str());
+    blockSize_ = bs;
+    (void)headerBytes;
+}
+
+bool
+TraceReader::next(TraceRecord &record)
+{
+    if (consumed_ >= recordCount_)
+        return false;
+    std::uint64_t instr = 0, addr = 0;
+    std::uint8_t write = 0;
+    if (!readRaw(in_, instr) || !readRaw(in_, addr) ||
+        !readRaw(in_, write))
+        cmpqos_fatal("trace truncated after %llu of %llu records",
+                     static_cast<unsigned long long>(consumed_),
+                     static_cast<unsigned long long>(recordCount_));
+    record.instruction = instr;
+    record.addr = addr;
+    record.isWrite = write != 0;
+    ++consumed_;
+    return true;
+}
+
+std::vector<TraceRecord>
+TraceReader::readAll()
+{
+    std::vector<TraceRecord> records;
+    records.reserve(recordCount_ - consumed_);
+    TraceRecord r;
+    while (next(r))
+        records.push_back(r);
+    return records;
+}
+
+std::uint64_t
+recordTrace(AccessGenerator &generator, InstCount instructions,
+            const std::string &path)
+{
+    TraceWriter writer(path);
+    // Step instruction-by-instruction so records carry exact
+    // instruction numbers.
+    for (InstCount i = 0; i < instructions; ++i) {
+        generator.run(1, [&](Addr addr, bool is_write) {
+            writer.append(TraceRecord{i, addr, is_write});
+        });
+    }
+    writer.close();
+    return writer.recordsWritten();
+}
+
+} // namespace cmpqos

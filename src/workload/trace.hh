@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Memory-trace recording and replay.
+ *
+ * The synthetic generators are stochastic; traces make runs portable
+ * and exactly repeatable across machines and refactors (the role
+ * trace-driven inputs play for simulators like gem5's TraceCPU).
+ * A trace records each access's instruction offset, byte address,
+ * and read/write flag in a small binary format:
+ *
+ *   header: magic "CQT1" | u32 block_size | u64 record_count
+ *   record: u64 instruction_number | u64 addr | u8 is_write
+ *
+ * Traces can be captured from any AccessGenerator and replayed into
+ * any cache hierarchy; replaying a capture reproduces the original
+ * access stream bit-for-bit.
+ */
+
+#ifndef CMPQOS_WORKLOAD_TRACE_HH
+#define CMPQOS_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "workload/generator.hh"
+
+namespace cmpqos
+{
+
+/** One trace record. */
+struct TraceRecord
+{
+    InstCount instruction = 0;
+    Addr addr = 0;
+    bool isWrite = false;
+
+    bool
+    operator==(const TraceRecord &o) const
+    {
+        return instruction == o.instruction && addr == o.addr &&
+               isWrite == o.isWrite;
+    }
+};
+
+/**
+ * Streams trace records to a binary file.
+ */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(const std::string &path,
+                         unsigned block_size = 64);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void append(const TraceRecord &record);
+
+    /** Finalize the header (record count); called by the dtor too. */
+    void close();
+
+    std::uint64_t recordsWritten() const { return count_; }
+
+  private:
+    std::ofstream out_;
+    unsigned blockSize_;
+    std::uint64_t count_ = 0;
+    bool closed_ = false;
+};
+
+/**
+ * Reads a trace file; supports streaming iteration and full loads.
+ */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const std::string &path);
+
+    unsigned blockSize() const { return blockSize_; }
+    std::uint64_t recordCount() const { return recordCount_; }
+
+    /** Read the next record. @return false at end of trace. */
+    bool next(TraceRecord &record);
+
+    /** Load every remaining record. */
+    std::vector<TraceRecord> readAll();
+
+    /**
+     * Replay the trace in instruction order through @p emit
+     * (Addr, is_write), like AccessGenerator::run over the whole
+     * capture.
+     */
+    template <typename F>
+    void
+    replay(F &&emit)
+    {
+        TraceRecord r;
+        while (next(r))
+            emit(r.addr, r.isWrite);
+    }
+
+  private:
+    std::ifstream in_;
+    unsigned blockSize_ = 0;
+    std::uint64_t recordCount_ = 0;
+    std::uint64_t consumed_ = 0;
+};
+
+/**
+ * Capture @p instructions of a generator's stream to @p path.
+ * @return the number of records written.
+ */
+std::uint64_t recordTrace(AccessGenerator &generator,
+                          InstCount instructions,
+                          const std::string &path);
+
+} // namespace cmpqos
+
+#endif // CMPQOS_WORKLOAD_TRACE_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the way-allocation table.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/partition.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+TEST(WayAllocationTable, DefaultsInactiveZero)
+{
+    WayAllocationTable t(4, 16);
+    for (int c = 0; c < 4; ++c) {
+        EXPECT_EQ(t.target(c), 0u);
+        EXPECT_EQ(t.coreClass(c), CoreClass::Inactive);
+    }
+    EXPECT_EQ(t.reservedWays(), 0u);
+    EXPECT_EQ(t.poolWays(), 16u);
+}
+
+TEST(WayAllocationTable, ReservedAccounting)
+{
+    WayAllocationTable t(4, 16);
+    t.setTarget(0, 7);
+    t.setCoreClass(0, CoreClass::Reserved);
+    t.setTarget(1, 7);
+    t.setCoreClass(1, CoreClass::Reserved);
+    EXPECT_EQ(t.reservedWays(), 14u);
+    EXPECT_EQ(t.poolWays(), 2u);
+}
+
+TEST(WayAllocationTable, OpportunisticTargetsDontCount)
+{
+    WayAllocationTable t(4, 16);
+    t.setTarget(0, 7);
+    t.setCoreClass(0, CoreClass::Opportunistic);
+    EXPECT_EQ(t.reservedWays(), 0u);
+}
+
+TEST(WayAllocationTable, ReleaseClearsCore)
+{
+    WayAllocationTable t(4, 16);
+    t.setTarget(2, 5);
+    t.setCoreClass(2, CoreClass::Reserved);
+    t.release(2);
+    EXPECT_EQ(t.target(2), 0u);
+    EXPECT_EQ(t.coreClass(2), CoreClass::Inactive);
+    EXPECT_EQ(t.poolWays(), 16u);
+}
+
+TEST(WayAllocationTableDeathTest, OverAllocationIsFatal)
+{
+    WayAllocationTable t(4, 16);
+    t.setTarget(0, 10);
+    t.setCoreClass(0, CoreClass::Reserved);
+    t.setCoreClass(1, CoreClass::Reserved);
+    EXPECT_EXIT(t.setTarget(1, 7), ::testing::ExitedWithCode(1),
+                "exceed");
+}
+
+TEST(WayAllocationTableDeathTest, ClassPromotionRevalidates)
+{
+    WayAllocationTable t(2, 8);
+    t.setTarget(0, 8);
+    t.setCoreClass(0, CoreClass::Reserved);
+    t.setTarget(1, 4); // fine while core 1 not reserved
+    EXPECT_EXIT(t.setCoreClass(1, CoreClass::Reserved),
+                ::testing::ExitedWithCode(1), "exceed");
+}
+
+TEST(PartitionNames, Strings)
+{
+    EXPECT_STREQ(coreClassName(CoreClass::Reserved), "Reserved");
+    EXPECT_STREQ(coreClassName(CoreClass::Opportunistic),
+                 "Opportunistic");
+    EXPECT_STREQ(coreClassName(CoreClass::Inactive), "Inactive");
+    EXPECT_STREQ(partitionSchemeName(PartitionScheme::PerSet), "PerSet");
+    EXPECT_STREQ(partitionSchemeName(PartitionScheme::Global), "Global");
+    EXPECT_STREQ(partitionSchemeName(PartitionScheme::None), "None");
+}
+
+} // namespace
+} // namespace cmpqos

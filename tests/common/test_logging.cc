@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Unit tests for logging / formatting utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+TEST(Logging, FormatBasic)
+{
+    EXPECT_EQ(detail::format("plain"), "plain");
+    EXPECT_EQ(detail::format("%d + %d", 2, 3), "2 + 3");
+    EXPECT_EQ(detail::format("%s/%s", "a", "b"), "a/b");
+}
+
+TEST(Logging, FormatLongString)
+{
+    std::string big(500, 'x');
+    EXPECT_EQ(detail::format("%s", big.c_str()), big);
+}
+
+TEST(Logging, VerboseToggle)
+{
+    setVerbose(true);
+    EXPECT_TRUE(verboseEnabled());
+    setVerbose(false);
+    EXPECT_FALSE(verboseEnabled());
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(cmpqos_panic("boom %d", 42), "boom 42");
+}
+
+TEST(LoggingDeathTest, AssertFiresOnFalse)
+{
+    EXPECT_DEATH(cmpqos_assert(1 == 2, "math broke"), "math broke");
+}
+
+TEST(LoggingDeathTest, FatalExits)
+{
+    EXPECT_EXIT(cmpqos_fatal("bad config"),
+                ::testing::ExitedWithCode(1), "bad config");
+}
+
+} // namespace
+} // namespace cmpqos

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Unit tests for size/time helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+#include "common/units.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+using namespace cmpqos::units;
+
+TEST(Units, Literals)
+{
+    EXPECT_EQ(32_KiB, 32768ull);
+    EXPECT_EQ(2_MiB, 2097152ull);
+    EXPECT_EQ(1_GiB, 1073741824ull);
+}
+
+TEST(Units, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_FALSE(isPowerOfTwo(96));
+}
+
+TEST(Units, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(65), 6u);
+    EXPECT_EQ(floorLog2(1ull << 33), 33u);
+}
+
+TEST(Types, CycleSecondsRoundTrip)
+{
+    // 2GHz clock: 2e9 cycles = 1 second.
+    EXPECT_DOUBLE_EQ(cyclesToSeconds(2'000'000'000ull), 1.0);
+    EXPECT_EQ(secondsToCycles(0.5), 1'000'000'000ull);
+}
+
+} // namespace
+} // namespace cmpqos

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Unit tests for the in-order core ledger.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+TEST(InOrderCore, NoL1InL2StreamMode)
+{
+    InOrderCore core(0, false);
+    EXPECT_EQ(core.l1(), nullptr);
+    EXPECT_EQ(core.id(), 0);
+}
+
+TEST(InOrderCore, L1AttachedInFullMode)
+{
+    InOrderCore core(1, true);
+    ASSERT_NE(core.l1(), nullptr);
+    EXPECT_EQ(core.l1()->config().sizeBytes, 32u * 1024u);
+    EXPECT_EQ(core.l1()->config().assoc, 4u);
+}
+
+TEST(InOrderCore, LedgerIpcCpi)
+{
+    InOrderCore core(0);
+    core.ledger().instructions = 1000;
+    core.ledger().cycles = 2500.0;
+    EXPECT_DOUBLE_EQ(core.ledger().ipc(), 0.4);
+    EXPECT_DOUBLE_EQ(core.ledger().cpi(), 2.5);
+}
+
+TEST(InOrderCore, LedgerEmptySafe)
+{
+    InOrderCore core(0);
+    EXPECT_DOUBLE_EQ(core.ledger().ipc(), 0.0);
+    EXPECT_DOUBLE_EQ(core.ledger().cpi(), 0.0);
+}
+
+TEST(InOrderCore, TimeAdvances)
+{
+    InOrderCore core(0);
+    EXPECT_DOUBLE_EQ(core.localTime(), 0.0);
+    core.advanceTime(123.5);
+    core.advanceTime(76.5);
+    EXPECT_DOUBLE_EQ(core.localTime(), 200.0);
+    core.setTime(1000.0);
+    EXPECT_DOUBLE_EQ(core.localTime(), 1000.0);
+}
+
+TEST(InOrderCore, ResetLedgerKeepsTime)
+{
+    InOrderCore core(0);
+    core.ledger().instructions = 5;
+    core.advanceTime(10.0);
+    core.resetLedger();
+    EXPECT_EQ(core.ledger().instructions, 0u);
+    EXPECT_DOUBLE_EQ(core.localTime(), 10.0);
+}
+
+} // namespace
+} // namespace cmpqos

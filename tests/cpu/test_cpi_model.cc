@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Unit tests for the additive CPI model (Section 4.2) including the
+ * paper's key property: an X% increase in misses per instruction
+ * produces a < X% increase in CPI.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/cpi_model.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+TEST(AdditiveCpiModel, PureComputeCpi)
+{
+    CpiParams p{1.2, 10.0};
+    EXPECT_DOUBLE_EQ(AdditiveCpiModel::cycles(p, 1000, 0, 0, 300.0),
+                     1200.0);
+    EXPECT_DOUBLE_EQ(AdditiveCpiModel::cpi(p, 1000, 0, 0, 300.0), 1.2);
+}
+
+TEST(AdditiveCpiModel, ComponentsAdd)
+{
+    CpiParams p{1.0, 10.0};
+    // 1000 instr, 100 L2 accesses (t2=10), 20 misses (tm=300).
+    const double cycles =
+        AdditiveCpiModel::cycles(p, 1000, 100, 20, 300.0);
+    EXPECT_DOUBLE_EQ(cycles, 1000.0 + 1000.0 + 6000.0);
+    EXPECT_DOUBLE_EQ(AdditiveCpiModel::cpi(p, 1000, 100, 20, 300.0),
+                     8.0);
+}
+
+TEST(AdditiveCpiModel, ZeroInstructions)
+{
+    CpiParams p{1.0, 10.0};
+    EXPECT_DOUBLE_EQ(AdditiveCpiModel::cpi(p, 0, 0, 0, 300.0), 0.0);
+}
+
+TEST(AdditiveCpiModel, MissIncreaseBoundsCpiIncrease)
+{
+    // Section 4.2: since hm*tm is only one non-negative component of
+    // CPI, an X% increase in hm yields < X% increase in CPI.
+    CpiParams p{0.8, 10.0};
+    const InstCount n = 1'000'000;
+    const std::uint64_t acc = 27'500; // bzip2-like h2
+    const std::uint64_t miss_base = 5'500;
+    for (double x : {0.05, 0.10, 0.20, 0.50}) {
+        const auto miss_x = static_cast<std::uint64_t>(
+            static_cast<double>(miss_base) * (1.0 + x));
+        const double cpi0 =
+            AdditiveCpiModel::cpi(p, n, acc, miss_base, 300.0);
+        const double cpi1 =
+            AdditiveCpiModel::cpi(p, n, acc, miss_x, 300.0);
+        const double cpi_increase = (cpi1 - cpi0) / cpi0;
+        EXPECT_LT(cpi_increase, x) << "X=" << x;
+        EXPECT_GT(cpi_increase, 0.0) << "X=" << x;
+    }
+}
+
+TEST(AdditiveCpiModel, PaperRatioRange)
+{
+    // Figure 8(a): for bzip2 the CPI increase runs at roughly one
+    // third to one half of the miss-rate increase.
+    CpiParams p{0.8, 10.0};
+    const InstCount n = 1'000'000;
+    const std::uint64_t acc = 27'500;
+    const std::uint64_t miss = 5'500;
+    const double x = 0.10;
+    const double cpi0 = AdditiveCpiModel::cpi(p, n, acc, miss, 300.0);
+    const double cpi1 = AdditiveCpiModel::cpi(
+        p, n, acc,
+        static_cast<std::uint64_t>(miss * (1.0 + x)), 300.0);
+    const double ratio = ((cpi1 - cpi0) / cpi0) / x;
+    EXPECT_GT(ratio, 0.3);
+    EXPECT_LT(ratio, 0.75);
+}
+
+} // namespace
+} // namespace cmpqos

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for manual mode downgrade (Section 3.3): interchangeability
+ * conditions, reservation adjustments, and the throughput effect of
+ * freeing resources.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qos/framework.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+FrameworkConfig
+fastConfig()
+{
+    FrameworkConfig fc;
+    fc.cmp.chunkInstructions = 20'000;
+    fc.stealing.intervalInstructions = 400'000;
+    return fc;
+}
+
+JobRequest
+request(const char *bench, ModeSpec mode, double deadline = 3.0)
+{
+    JobRequest r;
+    r.benchmark = bench;
+    r.mode = mode;
+    r.deadlineFactor = deadline;
+    return r;
+}
+
+TEST(ManualDowngrade, StrictToElasticExtendsReservation)
+{
+    QosFramework fw(fastConfig());
+    Job *j = fw.submitJob(request("gobmk", ModeSpec::strict(), 3.0),
+                          4'000'000);
+    ASSERT_NE(j, nullptr);
+    const Cycle tw = j->target().maxWallClock;
+    const Cycle old_end = j->slotEnd;
+
+    ASSERT_TRUE(fw.downgradeJob(*j, ModeSpec::elastic(0.10)));
+    EXPECT_EQ(j->mode().mode, ExecutionMode::Elastic);
+    // Reservation now spans tw * 1.10 (Section 3.4).
+    EXPECT_EQ(j->slotEnd,
+              j->slotStart +
+                  ModeSpec::elastic(0.10).reservationDuration(tw));
+    EXPECT_GT(j->slotEnd, old_end);
+
+    fw.runToCompletion();
+    EXPECT_TRUE(j->deadlineMet());
+}
+
+TEST(ManualDowngrade, ElasticSlackBeyondDeadlineRejected)
+{
+    QosFramework fw(fastConfig());
+    // Deadline 1.05 tw: only ~5% slack is interchangeable.
+    Job *j = fw.submitJob(request("gobmk", ModeSpec::strict(), 1.05),
+                          4'000'000);
+    ASSERT_NE(j, nullptr);
+    EXPECT_FALSE(fw.downgradeJob(*j, ModeSpec::elastic(0.20)));
+    EXPECT_EQ(j->mode().mode, ExecutionMode::Strict);
+    // The original reservation is intact.
+    EXPECT_FALSE(fw.lac().timeline().reservations().empty());
+    fw.runToCompletion();
+    EXPECT_TRUE(j->deadlineMet());
+}
+
+TEST(ManualDowngrade, ElasticExtensionCollidingWithSuccessorRejected)
+{
+    QosFramework fw(fastConfig());
+    // Two back-to-back 14-way jobs: the first cannot extend.
+    JobRequest wide = request("gobmk", ModeSpec::strict(), 4.0);
+    wide.ways = 14;
+    Job *a = fw.submitJob(wide, 4'000'000);
+    Job *b = fw.submitJob(wide, 4'000'000);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    ASSERT_EQ(b->slotStart, a->slotEnd); // packed back-to-back
+    EXPECT_FALSE(fw.downgradeJob(*a, ModeSpec::elastic(0.30)));
+    EXPECT_EQ(a->mode().mode, ExecutionMode::Strict);
+    fw.runToCompletion();
+    EXPECT_TRUE(a->deadlineMet());
+    EXPECT_TRUE(b->deadlineMet());
+}
+
+TEST(ManualDowngrade, RunningStrictToOpportunisticFreesResources)
+{
+    QosFramework fw(fastConfig());
+    Job *a = fw.submitJob(request("gobmk", ModeSpec::strict(), 5.0),
+                          6'000'000);
+    Job *b = fw.submitJob(request("gobmk", ModeSpec::strict(), 5.0),
+                          6'000'000);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+
+    // A third 7-way job cannot start concurrently...
+    Job *c = fw.submitJob(request("gobmk", ModeSpec::strict(), 5.0),
+                          6'000'000);
+    ASSERT_NE(c, nullptr);
+    EXPECT_GT(c->slotStart, 0u);
+
+    // ...but downgrading job a releases its ways, and a later
+    // admission can use them immediately.
+    ASSERT_TRUE(fw.downgradeJob(*a, ModeSpec::opportunistic()));
+    EXPECT_EQ(a->mode().mode, ExecutionMode::Opportunistic);
+    Job *d = fw.submitJob(request("gobmk", ModeSpec::strict(), 5.0),
+                          6'000'000);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->slotStart, 0u);
+
+    fw.runToCompletion();
+    for (Job *j : {b, c, d})
+        EXPECT_TRUE(j->deadlineMet());
+    EXPECT_EQ(a->state(), JobState::Completed);
+}
+
+TEST(ManualDowngrade, WaitingStrictToOpportunisticStartsNow)
+{
+    QosFramework fw(fastConfig());
+    fw.submitJob(request("gobmk", ModeSpec::strict(), 5.0), 5'000'000);
+    fw.submitJob(request("gobmk", ModeSpec::strict(), 5.0), 5'000'000);
+    Job *waiting =
+        fw.submitJob(request("bzip2", ModeSpec::strict(), 5.0),
+                     5'000'000);
+    ASSERT_NE(waiting, nullptr);
+    ASSERT_GT(waiting->slotStart, 0u);
+    ASSERT_EQ(waiting->state(), JobState::Waiting);
+
+    ASSERT_TRUE(fw.downgradeJob(*waiting, ModeSpec::opportunistic()));
+    EXPECT_EQ(waiting->state(), JobState::Running);
+    fw.runToCompletion();
+    EXPECT_EQ(waiting->state(), JobState::Completed);
+    // Started opportunistically at ~0, not at the old reserved slot.
+    EXPECT_LT(waiting->exec()->startCycle,
+              static_cast<double>(waiting->slotStart));
+}
+
+TEST(ManualDowngrade, UpgradesAndSidewaysRejected)
+{
+    QosFramework fw(fastConfig());
+    Job *o = fw.submitJob(
+        request("gobmk", ModeSpec::opportunistic(), 5.0), 2'000'000);
+    Job *e = fw.submitJob(
+        request("gobmk", ModeSpec::elastic(0.05), 5.0), 2'000'000);
+    ASSERT_NE(o, nullptr);
+    ASSERT_NE(e, nullptr);
+    EXPECT_FALSE(fw.downgradeJob(*o, ModeSpec::strict()));
+    EXPECT_FALSE(fw.downgradeJob(*o, ModeSpec::elastic(0.05)));
+    EXPECT_FALSE(fw.downgradeJob(*e, ModeSpec::strict()));
+    EXPECT_FALSE(fw.downgradeJob(*e, ModeSpec::elastic(0.01)));
+    fw.runToCompletion();
+}
+
+TEST(ManualDowngrade, CompletedJobRejected)
+{
+    QosFramework fw(fastConfig());
+    Job *j = fw.submitJob(request("gobmk", ModeSpec::strict(), 3.0),
+                          2'000'000);
+    ASSERT_NE(j, nullptr);
+    fw.runToCompletion();
+    EXPECT_FALSE(fw.downgradeJob(*j, ModeSpec::opportunistic()));
+}
+
+TEST(ManualDowngrade, RunningElasticToOpportunistic)
+{
+    QosFramework fw(fastConfig());
+    Job *e = fw.submitJob(
+        request("gobmk", ModeSpec::elastic(0.05), 5.0), 8'000'000);
+    Job *o = fw.submitJob(
+        request("bzip2", ModeSpec::opportunistic(), 5.0), 8'000'000);
+    ASSERT_NE(e, nullptr);
+    ASSERT_NE(o, nullptr);
+    // Let it run a bit, then downgrade mid-flight.
+    fw.simulation().run(2'000'000);
+    ASSERT_EQ(e->state(), JobState::Running);
+    ASSERT_TRUE(fw.downgradeJob(*e, ModeSpec::opportunistic()));
+    EXPECT_EQ(e->exec()->duplicateTags(), nullptr); // stealing off
+    fw.runToCompletion();
+    EXPECT_EQ(e->state(), JobState::Completed);
+    EXPECT_EQ(o->state(), JobState::Completed);
+}
+
+TEST(ManualDowngrade, EqualPartPolicyRejects)
+{
+    FrameworkConfig fc = fastConfig();
+    fc.policy = SystemPolicy::EqualPart;
+    QosFramework fw(fc);
+    Job *j = fw.submitJob(request("gobmk", ModeSpec::strict(), 3.0),
+                          2'000'000);
+    ASSERT_NE(j, nullptr);
+    EXPECT_FALSE(fw.downgradeJob(*j, ModeSpec::opportunistic()));
+    fw.runToCompletion();
+}
+
+} // namespace
+} // namespace cmpqos

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * EqualPart baseline behaviours (Table 2's non-QoS comparator) and a
+ * global-partitioning-scheme workload run.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qos/framework.hh"
+#include "qos/workload_spec.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+FrameworkConfig
+equalPartConfig()
+{
+    FrameworkConfig fc;
+    fc.policy = SystemPolicy::EqualPart;
+    fc.cmp.chunkInstructions = 20'000;
+    return fc;
+}
+
+JobRequest
+request(const char *bench, double deadline)
+{
+    JobRequest r;
+    r.benchmark = bench;
+    r.mode = ModeSpec::strict();
+    r.deadlineFactor = deadline;
+    return r;
+}
+
+TEST(EqualPart, TimeSharingIsRoughlyFair)
+{
+    // Eight identical jobs on four cores: pairs time-share, so all
+    // wall-clocks land close together and roughly double the solo
+    // time.
+    QosFramework fw(equalPartConfig());
+    std::vector<Job *> jobs;
+    for (int i = 0; i < 8; ++i)
+        jobs.push_back(
+            fw.submitJob(request("gobmk", 6.0), 3'000'000));
+    fw.runToCompletion();
+
+    double mn = 1e18, mx = 0.0;
+    for (Job *j : jobs) {
+        ASSERT_NE(j, nullptr);
+        mn = std::min(mn, j->wallClock());
+        mx = std::max(mx, j->wallClock());
+    }
+    EXPECT_LT(mx / mn, 1.25);
+    // Two jobs per 4-way core: ~2x the 4-way solo time.
+    const double solo4 =
+        3'000'000.0 * BenchmarkRegistry::get("gobmk").expectedCpi(4);
+    EXPECT_GT(mn, solo4 * 1.6);
+    EXPECT_LT(mx, solo4 * 2.6);
+}
+
+TEST(EqualPart, PartitionStaysEqualThroughChurn)
+{
+    QosFramework fw(equalPartConfig());
+    for (int i = 0; i < 6; ++i)
+        fw.submitJob(request("bzip2", 8.0), 1'500'000);
+    fw.runToCompletion();
+    for (int c = 0; c < 4; ++c) {
+        EXPECT_EQ(fw.system().l2().targetWays(c), 4u);
+        EXPECT_EQ(fw.system().l2().coreClass(c), CoreClass::Reserved);
+    }
+}
+
+TEST(EqualPart, DeadlineMissesScaleWithTightness)
+{
+    // With 2.5 jobs per core, tight (1.05 tw) deadlines miss while
+    // sufficiently relaxed ones can still be met.
+    QosFramework fw(equalPartConfig());
+    std::vector<Job *> tight, relaxed;
+    for (int i = 0; i < 5; ++i)
+        tight.push_back(fw.submitJob(request("gobmk", 1.05),
+                                     2'000'000));
+    for (int i = 0; i < 5; ++i)
+        relaxed.push_back(fw.submitJob(request("gobmk", 6.0),
+                                       2'000'000));
+    fw.runToCompletion();
+    int tight_miss = 0, relaxed_miss = 0;
+    for (Job *j : tight)
+        tight_miss += !j->deadlineMet();
+    for (Job *j : relaxed)
+        relaxed_miss += !j->deadlineMet();
+    EXPECT_GT(tight_miss, 0);
+    EXPECT_LE(relaxed_miss, tight_miss);
+}
+
+TEST(EqualPart, LacIsNotConsulted)
+{
+    QosFramework fw(equalPartConfig());
+    for (int i = 0; i < 10; ++i)
+        EXPECT_NE(fw.submitJob(request("bzip2", 1.05), 500'000),
+                  nullptr);
+    EXPECT_EQ(fw.lac().submissionCount(), 0u);
+    fw.runToCompletion();
+}
+
+TEST(GlobalScheme, WorkloadStillMeetsDeadlines)
+{
+    // Section 4.1 rejects the global scheme for its run-to-run
+    // variation, not for breaking guarantees: with the same targets
+    // reserved, deadlines still hold under it (tw margins absorb the
+    // per-set drift at workload scale).
+    FrameworkConfig fc;
+    fc.cmp.chunkInstructions = 25'000;
+    fc.cmp.scheme = PartitionScheme::Global;
+    QosFramework fw(fc);
+    const auto r = fw.runWorkload(makeSingleBenchmarkWorkload(
+        ModeConfig::AllStrict, "gobmk", 5, 3'000'000, 17));
+    EXPECT_DOUBLE_EQ(r.deadlineHitRate(true), 1.0);
+}
+
+} // namespace
+} // namespace cmpqos

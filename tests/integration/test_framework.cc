@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Integration tests of the QosFramework facade: single jobs through
+ * submit/run, mode behaviours, EqualPart baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qos/framework.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+FrameworkConfig
+fastConfig(SystemPolicy policy = SystemPolicy::Qos)
+{
+    FrameworkConfig fc;
+    fc.policy = policy;
+    fc.cmp.chunkInstructions = 20'000;
+    fc.stealing.intervalInstructions = 500'000;
+    return fc;
+}
+
+JobRequest
+request(const char *bench, ModeSpec mode, double deadline = 2.0)
+{
+    JobRequest r;
+    r.benchmark = bench;
+    r.mode = mode;
+    r.deadlineFactor = deadline;
+    return r;
+}
+
+TEST(Framework, SingleStrictJobMeetsDeadline)
+{
+    QosFramework fw(fastConfig());
+    Job *j = fw.submitJob(request("bzip2", ModeSpec::strict()),
+                          4'000'000);
+    ASSERT_NE(j, nullptr);
+    fw.runToCompletion();
+    EXPECT_EQ(j->state(), JobState::Completed);
+    EXPECT_TRUE(j->deadlineMet());
+    // Strict jobs run on a dedicated 7-way partition: wall clock must
+    // land under tw (which includes the margin).
+    EXPECT_LE(j->wallClock(),
+              static_cast<double>(j->target().maxWallClock));
+}
+
+TEST(Framework, WallClockBracketedByAnalyticAndTw)
+{
+    QosFramework fw(fastConfig());
+    Job *j = fw.submitJob(request("bzip2", ModeSpec::strict()),
+                          6'000'000);
+    ASSERT_NE(j, nullptr);
+    fw.runToCompletion();
+    // Lower bound: the steady-state analytic cycles (warm-up only
+    // adds). Upper bound: the admitted tw, which includes the
+    // warm-up allowance and margin.
+    const double analytic =
+        6'000'000.0 * BenchmarkRegistry::get("bzip2").expectedCpi(7);
+    EXPECT_GE(j->wallClock(), analytic * 0.98);
+    EXPECT_LE(j->wallClock(),
+              static_cast<double>(j->target().maxWallClock));
+    // And tw is not absurdly padded: under 1.5x the analytic time.
+    EXPECT_LE(static_cast<double>(j->target().maxWallClock),
+              analytic * 1.5);
+}
+
+TEST(Framework, TwoStrictJobsRunConcurrently)
+{
+    QosFramework fw(fastConfig());
+    Job *a = fw.submitJob(request("gobmk", ModeSpec::strict()),
+                          3'000'000);
+    Job *b = fw.submitJob(request("gobmk", ModeSpec::strict()),
+                          3'000'000);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    fw.runToCompletion();
+    // Concurrent: both start at ~0.
+    EXPECT_LT(b->exec()->startCycle, 1'000'000.0);
+    EXPECT_TRUE(a->deadlineMet());
+    EXPECT_TRUE(b->deadlineMet());
+}
+
+TEST(Framework, ThirdStrictJobSerializedByAdmission)
+{
+    QosFramework fw(fastConfig());
+    Job *a = fw.submitJob(request("gobmk", ModeSpec::strict(), 5.0),
+                          3'000'000);
+    Job *b = fw.submitJob(request("gobmk", ModeSpec::strict(), 5.0),
+                          3'000'000);
+    Job *c = fw.submitJob(request("gobmk", ModeSpec::strict(), 5.0),
+                          3'000'000);
+    ASSERT_NE(c, nullptr);
+    EXPECT_GT(c->slotStart, 0u);
+    fw.runToCompletion();
+    // Third job starts only after a predecessor's slot.
+    EXPECT_GT(c->exec()->startCycle, a->exec()->startCycle);
+    EXPECT_TRUE(c->deadlineMet());
+    (void)b;
+}
+
+TEST(Framework, RejectedJobReturnsNull)
+{
+    QosFramework fw(fastConfig());
+    fw.submitJob(request("gobmk", ModeSpec::strict(), 5.0), 3'000'000);
+    fw.submitJob(request("gobmk", ModeSpec::strict(), 5.0), 3'000'000);
+    // Tight deadline, no room now.
+    Job *c = fw.submitJob(request("gobmk", ModeSpec::strict(), 1.05),
+                          3'000'000);
+    EXPECT_EQ(c, nullptr);
+    fw.runToCompletion();
+}
+
+TEST(Framework, OpportunisticJobRunsOnSpareCores)
+{
+    QosFramework fw(fastConfig());
+    // Two Strict jobs reserve 14 of 16 ways; the opportunistic job
+    // squeezes onto a spare core with the 2-way pool.
+    Job *s1 = fw.submitJob(request("bzip2", ModeSpec::strict()),
+                           3'000'000);
+    Job *s2 = fw.submitJob(request("bzip2", ModeSpec::strict()),
+                           3'000'000);
+    Job *o = fw.submitJob(request("bzip2", ModeSpec::opportunistic()),
+                          3'000'000);
+    ASSERT_NE(s1, nullptr);
+    ASSERT_NE(s2, nullptr);
+    ASSERT_NE(o, nullptr);
+    fw.runToCompletion();
+    EXPECT_EQ(o->state(), JobState::Completed);
+    // Opportunistic runs with far fewer effective ways: slower than
+    // the reserved jobs.
+    EXPECT_GT(o->wallClock(), s1->wallClock() * 1.2);
+    EXPECT_TRUE(s1->deadlineMet());
+    EXPECT_TRUE(s2->deadlineMet());
+}
+
+TEST(Framework, ElasticJobStealingImprovesOpportunistic)
+{
+    // A Strict hmmer and an Elastic(5%) gobmk reserve 14 ways,
+    // leaving a 2-way pool. With stealing on, gobmk (which barely
+    // uses its partition) donates ways and the cache-hungry
+    // opportunistic bzip2 speeds up.
+    auto run_with = [&](bool stealing_enabled) {
+        FrameworkConfig fc = fastConfig();
+        fc.stealing.enabled = stealing_enabled;
+        QosFramework fw(fc);
+        Job *s = fw.submitJob(request("hmmer", ModeSpec::strict(), 3.0),
+                              8'000'000);
+        Job *e = fw.submitJob(
+            request("gobmk", ModeSpec::elastic(0.05), 3.0), 8'000'000);
+        Job *o = fw.submitJob(
+            request("bzip2", ModeSpec::opportunistic(), 3.0),
+            8'000'000);
+        EXPECT_NE(s, nullptr);
+        EXPECT_NE(e, nullptr);
+        EXPECT_NE(o, nullptr);
+        fw.runToCompletion();
+        EXPECT_TRUE(e->deadlineMet());
+        EXPECT_TRUE(s->deadlineMet());
+        return o->wallClock();
+    };
+    const double without = run_with(false);
+    const double with = run_with(true);
+    EXPECT_LT(with, without * 0.97);
+}
+
+TEST(Framework, EqualPartAcceptsEverything)
+{
+    QosFramework fw(fastConfig(SystemPolicy::EqualPart));
+    std::vector<Job *> js;
+    for (int i = 0; i < 6; ++i) {
+        Job *j = fw.submitJob(request("gobmk", ModeSpec::strict(), 1.05),
+                              2'000'000);
+        ASSERT_NE(j, nullptr);
+        js.push_back(j);
+    }
+    fw.runToCompletion();
+    int missed = 0;
+    for (Job *j : js) {
+        EXPECT_EQ(j->state(), JobState::Completed);
+        missed += j->deadlineMet() ? 0 : 1;
+    }
+    // Six time-shared jobs with tight deadlines: some must miss.
+    EXPECT_GT(missed, 0);
+}
+
+TEST(Framework, EqualPartPartitionsEvenly)
+{
+    QosFramework fw(fastConfig(SystemPolicy::EqualPart));
+    for (int c = 0; c < 4; ++c) {
+        EXPECT_EQ(fw.system().l2().targetWays(c), 4u);
+        EXPECT_EQ(fw.system().l2().coreClass(c), CoreClass::Reserved);
+    }
+}
+
+TEST(Framework, MaxWallClockScalesWithWays)
+{
+    QosFramework fw(fastConfig());
+    JobRequest wide = request("bzip2", ModeSpec::strict());
+    wide.ways = 14;
+    JobRequest narrow = request("bzip2", ModeSpec::strict());
+    narrow.ways = 2;
+    EXPECT_LT(fw.maxWallClockFor(wide, 1'000'000),
+              fw.maxWallClockFor(narrow, 1'000'000));
+}
+
+TEST(Framework, ForModeConfigFlags)
+{
+    EXPECT_TRUE(FrameworkConfig::forModeConfig(
+                    ModeConfig::AllStrictAutoDown)
+                    .admission.autoDowngrade);
+    EXPECT_EQ(
+        FrameworkConfig::forModeConfig(ModeConfig::EqualPart).policy,
+        SystemPolicy::EqualPart);
+    EXPECT_EQ(FrameworkConfig::forModeConfig(ModeConfig::AllStrict).policy,
+              SystemPolicy::Qos);
+}
+
+} // namespace
+} // namespace cmpqos

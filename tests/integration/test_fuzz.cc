@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Randomized whole-framework property tests: random workload
+ * compositions (benchmarks, modes, deadlines, arrival seeds) must
+ * always preserve the framework's invariants — accepted Strict and
+ * Elastic jobs meet their deadlines, reserved ways never exceed the
+ * associativity, every accepted job completes, and runs are
+ * deterministic per seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "qos/framework.hh"
+#include "qos/workload_spec.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+WorkloadSpec
+randomSpec(std::uint64_t seed)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    const auto &suite = BenchmarkRegistry::all();
+
+    WorkloadSpec spec;
+    spec.name = "fuzz-" + std::to_string(seed);
+    spec.config = ModeConfig::Hybrid2;
+    spec.jobInstructions = 1'500'000 + rng.uniformInt(2'000'000);
+    spec.seed = seed;
+
+    const std::size_t n_jobs = 4 + rng.uniformInt(4);
+    for (std::size_t i = 0; i < n_jobs; ++i) {
+        JobRequest r;
+        r.benchmark = suite[rng.uniformInt(suite.size())].name;
+        const auto mode_pick = rng.uniformInt(3);
+        if (mode_pick == 0) {
+            r.mode = ModeSpec::strict();
+            r.deadlineFactor =
+                (const double[]){1.05, 2.0, 3.0}[rng.uniformInt(3)];
+        } else if (mode_pick == 1) {
+            // Elastic slack must fit inside the deadline window.
+            const double slack = 0.02 + 0.02 * rng.uniformInt(5);
+            r.mode = ModeSpec::elastic(slack);
+            r.deadlineFactor = (1.0 + slack) * 1.05 +
+                               0.5 * rng.uniformInt(4);
+        } else {
+            r.mode = ModeSpec::opportunistic();
+            r.deadlineFactor = 2.0 + rng.uniformInt(4);
+        }
+        r.ways = 4 + rng.uniformInt(4); // 4..7 of 16 ways
+        spec.jobs.push_back(std::move(r));
+    }
+    return spec;
+}
+
+WorkloadResult
+runFuzz(std::uint64_t seed, unsigned *max_reserved = nullptr)
+{
+    const WorkloadSpec spec = randomSpec(seed);
+    FrameworkConfig fc = FrameworkConfig::forModeConfig(ModeConfig::Hybrid2);
+    fc.cmp.chunkInstructions = 25'000;
+    // The repartitioning interval must stay a small fraction of the
+    // job (the paper's 2M of 200M = 1%): the cumulative miss-count
+    // bound can only react at checkpoint granularity.
+    fc.stealing.intervalInstructions =
+        std::max<InstCount>(spec.jobInstructions / 100, 25'000);
+    QosFramework fw(fc);
+    if (max_reserved != nullptr) {
+        fw.simulation().setQuantumHook(
+            [&fw, max_reserved](CoreId c, JobExecution *e) {
+                fw.stealing().onQuantum(c, e);
+                *max_reserved = std::max(
+                    *max_reserved,
+                    fw.system().l2().allocation().reservedWays());
+            });
+    }
+    return fw.runWorkload(spec);
+}
+
+class FuzzWorkloads : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FuzzWorkloads, InvariantsHold)
+{
+    unsigned max_reserved = 0;
+    const auto r = runFuzz(GetParam(), &max_reserved);
+
+    // 1. The central guarantee: accepted QoS jobs meet deadlines.
+    EXPECT_DOUBLE_EQ(r.deadlineHitRate(true), 1.0) << r.workloadName;
+
+    // 2. The cache was never over-committed.
+    EXPECT_LE(max_reserved, 16u);
+
+    // 3. Every accepted job completed with sane accounting.
+    for (const auto &j : r.jobs) {
+        EXPECT_GT(j.endCycle, 0.0);
+        EXPECT_GE(j.endCycle, j.startCycle);
+        EXPECT_GE(j.missRate, 0.0);
+        EXPECT_LE(j.missRate, 1.0);
+        EXPECT_GT(j.cpi, 0.3);
+        EXPECT_LT(j.cpi, 100.0);
+        if (j.mode == ExecutionMode::Elastic) {
+            // Stealing never blew past the slack bound (+ interval
+            // granularity tolerance).
+            EXPECT_LT(j.observedMissIncrease, j.elasticSlack + 0.06)
+                << r.workloadName << " job " << j.id;
+        }
+    }
+
+    // 4. The makespan covers the last completion.
+    double last_end = 0.0;
+    for (const auto &j : r.jobs)
+        last_end = std::max(last_end, j.endCycle);
+    EXPECT_DOUBLE_EQ(r.makespan, last_end);
+}
+
+TEST_P(FuzzWorkloads, DeterministicPerSeed)
+{
+    const auto a = runFuzz(GetParam());
+    const auto b = runFuzz(GetParam());
+    ASSERT_EQ(a.jobs.size(), b.jobs.size());
+    EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.candidatesSubmitted, b.candidatesSubmitted);
+    for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.jobs[i].wallClock, b.jobs[i].wallClock);
+        EXPECT_EQ(a.jobs[i].stolenWays, b.jobs[i].stolenWays);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzWorkloads,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+} // namespace
+} // namespace cmpqos

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Unit tests for the bandwidth regulator (the off-chip-bandwidth RUM
+ * extension; see mem/bandwidth.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/bandwidth.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+TEST(BandwidthRegulator, DefaultsToPool)
+{
+    BandwidthRegulator bw(MemoryConfig(), 4);
+    for (int c = 0; c < 4; ++c)
+        EXPECT_EQ(bw.share(c), 0u);
+    EXPECT_EQ(bw.reservedPercent(), 0u);
+    EXPECT_EQ(bw.poolPercent(), 100u);
+}
+
+TEST(BandwidthRegulator, ShareAccounting)
+{
+    BandwidthRegulator bw(MemoryConfig(), 4);
+    bw.setShare(0, 40);
+    bw.setShare(1, 25);
+    EXPECT_EQ(bw.reservedPercent(), 65u);
+    EXPECT_EQ(bw.poolPercent(), 35u);
+    bw.setShare(0, 0);
+    EXPECT_EQ(bw.poolPercent(), 75u);
+}
+
+TEST(BandwidthRegulatorDeathTest, OverSubscriptionIsFatal)
+{
+    BandwidthRegulator bw(MemoryConfig(), 4);
+    bw.setShare(0, 70);
+    EXPECT_EXIT(bw.setShare(1, 40), ::testing::ExitedWithCode(1),
+                "exceed");
+}
+
+TEST(BandwidthRegulator, ReservedCoreSeesOwnUtilizationOnly)
+{
+    // Peak = 3.2 B/cycle. Core 0 reserves 50% (1.6 B/c entitled).
+    BandwidthRegulator bw(MemoryConfig(), 2);
+    bw.setShare(0, 50);
+    for (int i = 0; i < 20; ++i) {
+        bw.noteWindow(0, 800, 1000);  // 0.8 B/c = 50% of entitlement
+        bw.noteWindow(1, 3000, 1000); // core 1 hammers the pool
+    }
+    EXPECT_NEAR(bw.utilization(0), 0.5, 0.02);
+    // The hog saturates the pool but not core 0's share.
+    EXPECT_TRUE(bw.saturated(1));
+    EXPECT_FALSE(bw.saturated(0));
+    EXPECT_LT(bw.missPenalty(0), bw.missPenalty(1));
+}
+
+TEST(BandwidthRegulator, PoolCoresShareResidual)
+{
+    BandwidthRegulator bw(MemoryConfig(), 4);
+    bw.setShare(0, 75); // pool = 25% = 0.8 B/c
+    for (int i = 0; i < 20; ++i) {
+        bw.noteWindow(1, 400, 1000); // 0.4 B/c
+        bw.noteWindow(2, 400, 1000); // 0.4 B/c: combined = pool peak
+    }
+    EXPECT_GT(bw.utilization(1), 0.9);
+    EXPECT_TRUE(bw.saturated(2));
+}
+
+TEST(BandwidthRegulator, PriorityRequestsSkipQueueing)
+{
+    BandwidthRegulator bw(MemoryConfig(), 2);
+    for (int i = 0; i < 20; ++i)
+        bw.noteWindow(0, 3000, 1000);
+    EXPECT_DOUBLE_EQ(bw.missPenalty(0, true), 300.0);
+    EXPECT_GT(bw.missPenalty(0, false), 300.0);
+}
+
+TEST(BandwidthRegulator, IdleHasBasePenalty)
+{
+    BandwidthRegulator bw(MemoryConfig(), 2);
+    bw.setShare(0, 30);
+    EXPECT_DOUBLE_EQ(bw.missPenalty(0), 300.0);
+    EXPECT_DOUBLE_EQ(bw.missPenalty(1), 300.0);
+}
+
+TEST(BandwidthRegulator, ResetClearsDemand)
+{
+    BandwidthRegulator bw(MemoryConfig(), 2);
+    for (int i = 0; i < 20; ++i)
+        bw.noteWindow(0, 3000, 1000);
+    bw.reset();
+    EXPECT_DOUBLE_EQ(bw.utilization(0), 0.0);
+}
+
+} // namespace
+} // namespace cmpqos

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the main-memory bandwidth/queueing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+TEST(MainMemory, DefaultsMatchPaper)
+{
+    MainMemory m;
+    EXPECT_EQ(m.config().accessLatency, 300u);
+    // 6.4 GB/s at 2GHz = 3.2 bytes/cycle.
+    EXPECT_NEAR(m.bytesPerCycle(), 3.2, 1e-9);
+}
+
+TEST(MainMemory, IdleBusHasBasePenalty)
+{
+    MainMemory m;
+    EXPECT_DOUBLE_EQ(m.missPenalty(false), 300.0);
+    EXPECT_DOUBLE_EQ(m.missPenalty(true), 300.0);
+    EXPECT_FALSE(m.saturated());
+}
+
+TEST(MainMemory, UtilizationTracksTraffic)
+{
+    MainMemory m;
+    // Half the peak: 1.6 B/cycle over 1000 cycles = 1600 bytes.
+    for (int i = 0; i < 20; ++i)
+        m.noteWindow(1600, 1000);
+    EXPECT_NEAR(m.utilization(), 0.5, 0.01);
+}
+
+TEST(MainMemory, QueueingDelayGrowsWithUtilization)
+{
+    MainMemory low, high;
+    for (int i = 0; i < 20; ++i) {
+        low.noteWindow(320, 1000);   // 10% utilisation
+        high.noteWindow(2880, 1000); // 90% utilisation
+    }
+    EXPECT_LT(low.missPenalty(false), high.missPenalty(false));
+    EXPECT_GT(high.missPenalty(false), 300.0);
+}
+
+TEST(MainMemory, PriorityRequestsSkipQueueing)
+{
+    MainMemory m;
+    for (int i = 0; i < 20; ++i)
+        m.noteWindow(2880, 1000);
+    EXPECT_DOUBLE_EQ(m.missPenalty(true), 300.0);
+    EXPECT_GT(m.missPenalty(false), m.missPenalty(true));
+}
+
+TEST(MainMemory, SaturationDetection)
+{
+    MainMemory m;
+    EXPECT_FALSE(m.saturated());
+    for (int i = 0; i < 30; ++i)
+        m.noteWindow(3200, 1000); // at peak
+    EXPECT_TRUE(m.saturated());
+}
+
+TEST(MainMemory, QueueingDelayIsCapped)
+{
+    MainMemory m;
+    for (int i = 0; i < 50; ++i)
+        m.noteWindow(100000, 1000); // way past peak (clamped)
+    // Cap: base * (1 + maxQueueingFactor).
+    EXPECT_LE(m.missPenalty(false),
+              300.0 * (1.0 + m.config().maxQueueingFactor) + 1e-9);
+}
+
+TEST(MainMemory, LittlesLawRegimeRoughlyFlat)
+{
+    // Footnote 2: prior to saturation, queueing delay is roughly
+    // constant — going from 10% to 40% utilisation should change the
+    // penalty by far less than the base latency.
+    MainMemory a, b;
+    for (int i = 0; i < 20; ++i) {
+        a.noteWindow(320, 1000);  // 10%
+        b.noteWindow(1280, 1000); // 40%
+    }
+    EXPECT_LT(b.missPenalty(false) - a.missPenalty(false), 100.0);
+}
+
+TEST(MainMemory, TotalBytesAccumulate)
+{
+    MainMemory m;
+    m.noteWindow(100, 10);
+    m.noteWindow(200, 10);
+    EXPECT_EQ(m.totalBytes(), 300u);
+}
+
+TEST(MainMemory, ResetClearsState)
+{
+    MainMemory m;
+    m.noteWindow(3200, 1000);
+    m.reset();
+    EXPECT_DOUBLE_EQ(m.utilization(), 0.0);
+    EXPECT_EQ(m.totalBytes(), 0u);
+}
+
+TEST(MainMemory, ZeroCycleWindowIgnoredForUtilization)
+{
+    MainMemory m;
+    m.noteWindow(1000, 0);
+    EXPECT_DOUBLE_EQ(m.utilization(), 0.0);
+    EXPECT_EQ(m.totalBytes(), 1000u);
+}
+
+} // namespace
+} // namespace cmpqos

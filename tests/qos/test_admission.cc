@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for the Local Admission Controller (Section 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "qos/admission.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+Job
+makeJob(JobId id, ModeSpec mode, Cycle tw, double deadline_factor,
+        unsigned ways = 7)
+{
+    QosTarget t;
+    t.cores = 1;
+    t.cacheWays = ways;
+    t.maxWallClock = tw;
+    t.relativeDeadline = static_cast<Cycle>(
+        static_cast<double>(tw) * deadline_factor);
+    return Job(id, "bzip2", 1'000'000, t, mode);
+}
+
+TEST(AdmissionController, AcceptsFirstStrictJob)
+{
+    LocalAdmissionController lac;
+    Job j = makeJob(0, ModeSpec::strict(), 1000, 2.0);
+    const auto d = lac.submit(j, 0);
+    EXPECT_TRUE(d.accepted);
+    EXPECT_EQ(d.slotStart, 0u);
+    EXPECT_EQ(d.slotEnd, 1000u);
+    EXPECT_EQ(j.state(), JobState::Waiting);
+    EXPECT_EQ(j.deadline, 2000u);
+    EXPECT_EQ(lac.acceptedCount(), 1u);
+}
+
+TEST(AdmissionController, TwoSevenWayJobsCoexist)
+{
+    LocalAdmissionController lac;
+    Job a = makeJob(0, ModeSpec::strict(), 1000, 2.0);
+    Job b = makeJob(1, ModeSpec::strict(), 1000, 2.0);
+    EXPECT_TRUE(lac.submit(a, 0).accepted);
+    const auto d = lac.submit(b, 0);
+    EXPECT_TRUE(d.accepted);
+    EXPECT_EQ(d.slotStart, 0u); // 14 of 16 ways fit concurrently
+}
+
+TEST(AdmissionController, ThirdJobQueuedToNextSlot)
+{
+    LocalAdmissionController lac;
+    Job a = makeJob(0, ModeSpec::strict(), 1000, 3.0);
+    Job b = makeJob(1, ModeSpec::strict(), 1000, 3.0);
+    Job c = makeJob(2, ModeSpec::strict(), 1000, 3.0);
+    lac.submit(a, 0);
+    lac.submit(b, 0);
+    const auto d = lac.submit(c, 0);
+    EXPECT_TRUE(d.accepted);
+    EXPECT_EQ(d.slotStart, 1000u); // waits for ways to free
+}
+
+TEST(AdmissionController, RejectsWhenDeadlineUnreachable)
+{
+    LocalAdmissionController lac;
+    Job a = makeJob(0, ModeSpec::strict(), 1000, 3.0);
+    Job b = makeJob(1, ModeSpec::strict(), 1000, 3.0);
+    lac.submit(a, 0);
+    lac.submit(b, 0);
+    // Tight deadline job: must finish by 1.05*1000 but can only
+    // start at 1000.
+    Job c = makeJob(2, ModeSpec::strict(), 1000, 1.05);
+    const auto d = lac.submit(c, 0);
+    EXPECT_FALSE(d.accepted);
+    EXPECT_EQ(c.state(), JobState::Rejected);
+    EXPECT_EQ(lac.rejectedCount(), 1u);
+}
+
+TEST(AdmissionController, ElasticReservesLongerSlot)
+{
+    LocalAdmissionController lac;
+    Job j = makeJob(0, ModeSpec::elastic(0.05), 1000, 2.0);
+    const auto d = lac.submit(j, 0);
+    EXPECT_TRUE(d.accepted);
+    EXPECT_EQ(d.slotEnd - d.slotStart, 1050u); // tw * 1.05
+}
+
+TEST(AdmissionController, ElasticRejectedWhenSlackBreaksDeadline)
+{
+    LocalAdmissionController lac;
+    // Deadline 1.04*tw but Elastic(5%) needs 1.05*tw.
+    Job j = makeJob(0, ModeSpec::elastic(0.05), 100'000, 1.04);
+    EXPECT_FALSE(lac.submit(j, 0).accepted);
+}
+
+TEST(AdmissionController, OpportunisticAcceptedWithSpareCores)
+{
+    LocalAdmissionController lac;
+    Job s = makeJob(0, ModeSpec::strict(), 1000, 2.0);
+    lac.submit(s, 0);
+    Job o = makeJob(1, ModeSpec::opportunistic(), 1000, 2.0);
+    EXPECT_TRUE(lac.submit(o, 0).accepted);
+}
+
+TEST(AdmissionController, OpportunisticRejectedWhenAllCoresReserved)
+{
+    AdmissionConfig cfg;
+    cfg.capacity = {2, 16}; // 2-core node
+    LocalAdmissionController lac(cfg);
+    Job a = makeJob(0, ModeSpec::strict(), 1000, 2.0);
+    Job b = makeJob(1, ModeSpec::strict(), 1000, 2.0);
+    lac.submit(a, 0);
+    lac.submit(b, 0);
+    Job o = makeJob(2, ModeSpec::opportunistic(), 1000, 2.0);
+    EXPECT_FALSE(lac.submit(o, 0).accepted);
+}
+
+TEST(AdmissionController, AutoDowngradePlacesLatestSlot)
+{
+    AdmissionConfig cfg;
+    cfg.autoDowngrade = true;
+    LocalAdmissionController lac(cfg);
+    // Relaxed deadline: 3*tw. Latest slot = [2*tw, 3*tw).
+    Job j = makeJob(0, ModeSpec::strict(), 1000, 3.0);
+    const auto d = lac.submit(j, 0);
+    EXPECT_TRUE(d.accepted);
+    EXPECT_TRUE(d.autoDowngraded);
+    EXPECT_EQ(d.slotStart, 2000u);
+    EXPECT_EQ(d.slotEnd, 3000u);
+    EXPECT_TRUE(j.autoDowngraded);
+}
+
+TEST(AdmissionController, AutoDowngradeSkipsTightDeadlines)
+{
+    AdmissionConfig cfg;
+    cfg.autoDowngrade = true;
+    LocalAdmissionController lac(cfg);
+    Job j = makeJob(0, ModeSpec::strict(), 1000, 1.0);
+    const auto d = lac.submit(j, 0);
+    EXPECT_TRUE(d.accepted);
+    EXPECT_FALSE(d.autoDowngraded);
+    EXPECT_EQ(d.slotStart, 0u);
+}
+
+TEST(AdmissionController, ProbeDoesNotMutate)
+{
+    LocalAdmissionController lac;
+    Job j = makeJob(0, ModeSpec::strict(), 1000, 2.0);
+    const auto d = lac.probe(j, 0);
+    EXPECT_TRUE(d.accepted);
+    EXPECT_TRUE(lac.timeline().reservations().empty());
+    EXPECT_EQ(lac.acceptedCount(), 0u);
+    EXPECT_EQ(j.state(), JobState::Submitted);
+}
+
+TEST(AdmissionController, ReleaseEarlyFreesSlot)
+{
+    LocalAdmissionController lac;
+    Job a = makeJob(0, ModeSpec::strict(), 1000, 3.0);
+    Job b = makeJob(1, ModeSpec::strict(), 1000, 3.0);
+    lac.submit(a, 0);
+    lac.submit(b, 0);
+    // Job a completes at 400.
+    lac.releaseEarly(a, 400);
+    Job c = makeJob(2, ModeSpec::strict(), 1000, 3.0);
+    const auto d = lac.submit(c, 400);
+    EXPECT_TRUE(d.accepted);
+    EXPECT_EQ(d.slotStart, 400u);
+}
+
+TEST(AdmissionController, OverheadAccounting)
+{
+    LocalAdmissionController lac;
+    Job j = makeJob(0, ModeSpec::strict(), 1000, 2.0);
+    lac.submit(j, 0);
+    EXPECT_GE(lac.overheadCycles(), lac.config().costPerSubmission);
+    const Cycle after_one = lac.overheadCycles();
+    Job k = makeJob(1, ModeSpec::strict(), 1000, 2.0);
+    lac.submit(k, 0);
+    // Second submission scans one reservation.
+    EXPECT_GT(lac.overheadCycles() - after_one,
+              lac.config().costPerSubmission);
+}
+
+TEST(AdmissionController, NoTimeslotJobReservesLifetime)
+{
+    LocalAdmissionController lac;
+    QosTarget t;
+    t.cores = 1;
+    t.cacheWays = 7;
+    t.hasTimeslot = false;
+    Job j(0, "bzip2", 1'000'000, t, ModeSpec::strict());
+    const auto d = lac.submit(j, 100);
+    EXPECT_TRUE(d.accepted);
+    EXPECT_EQ(d.slotEnd, maxCycle);
+    // The ways stay committed far into the future.
+    EXPECT_EQ(lac.timeline().availableAt(1'000'000'000).ways, 9u);
+}
+
+TEST(AdmissionController, FcfsOrdering)
+{
+    // Earlier submissions get earlier slots even with equal targets.
+    LocalAdmissionController lac;
+    std::vector<Cycle> starts;
+    for (int i = 0; i < 4; ++i) {
+        Job j = makeJob(i, ModeSpec::strict(), 1000, 10.0);
+        const auto d = lac.submit(j, 0);
+        ASSERT_TRUE(d.accepted);
+        starts.push_back(d.slotStart);
+    }
+    EXPECT_TRUE(std::is_sorted(starts.begin(), starts.end()));
+    EXPECT_EQ(starts[2], 1000u);
+    EXPECT_EQ(starts[3], 1000u);
+}
+
+} // namespace
+} // namespace cmpqos

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the Global Admission Controller (Section 3.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "qos/gac.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+Job
+makeJob(JobId id, Cycle tw, double deadline_factor)
+{
+    QosTarget t;
+    t.cores = 1;
+    t.cacheWays = 7;
+    t.maxWallClock = tw;
+    t.relativeDeadline = static_cast<Cycle>(
+        static_cast<double>(tw) * deadline_factor);
+    return Job(id, "bzip2", 1'000'000, t, ModeSpec::strict());
+}
+
+TEST(Gac, FirstFitPicksFirstAvailableNode)
+{
+    LocalAdmissionController lac0, lac1;
+    GlobalAdmissionController gac(GacPolicy::FirstFit);
+    gac.addNode(0, &lac0);
+    gac.addNode(1, &lac1);
+
+    Job j = makeJob(0, 1000, 2.0);
+    const auto d = gac.submit(j, 0);
+    EXPECT_TRUE(d.accepted);
+    EXPECT_EQ(d.node, 0);
+    EXPECT_EQ(lac0.acceptedCount(), 1u);
+    EXPECT_EQ(lac1.acceptedCount(), 0u);
+}
+
+TEST(Gac, OverflowsToSecondNode)
+{
+    LocalAdmissionController lac0, lac1;
+    GlobalAdmissionController gac(GacPolicy::FirstFit);
+    gac.addNode(0, &lac0);
+    gac.addNode(1, &lac1);
+
+    // Saturate node 0 with two 7-way jobs and tight follow-up.
+    Job a = makeJob(0, 1000, 1.05);
+    Job b = makeJob(1, 1000, 1.05);
+    Job c = makeJob(2, 1000, 1.05);
+    EXPECT_EQ(gac.submit(a, 0).node, 0);
+    EXPECT_EQ(gac.submit(b, 0).node, 0);
+    // Node 0 can't start c before its tight deadline; node 1 can.
+    const auto d = gac.submit(c, 0);
+    EXPECT_TRUE(d.accepted);
+    EXPECT_EQ(d.node, 1);
+}
+
+TEST(Gac, RejectsWhenNoNodeFits)
+{
+    LocalAdmissionController lac0;
+    GlobalAdmissionController gac;
+    gac.addNode(0, &lac0);
+    Job a = makeJob(0, 1000, 1.05);
+    Job b = makeJob(1, 1000, 1.05);
+    Job c = makeJob(2, 1000, 1.05);
+    gac.submit(a, 0);
+    gac.submit(b, 0);
+    const auto d = gac.submit(c, 0);
+    EXPECT_FALSE(d.accepted);
+    EXPECT_EQ(lac0.acceptedCount(), 2u);
+}
+
+TEST(Gac, EarliestSlotPolicyBalances)
+{
+    LocalAdmissionController lac0, lac1;
+    GlobalAdmissionController gac(GacPolicy::EarliestSlot);
+    gac.addNode(0, &lac0);
+    gac.addNode(1, &lac1);
+
+    // Two jobs fill node 0's ways; a third with a loose deadline
+    // would queue behind them on node 0 but start NOW on node 1.
+    Job a = makeJob(0, 1000, 3.0);
+    Job b = makeJob(1, 1000, 3.0);
+    Job c = makeJob(2, 1000, 3.0);
+    gac.submit(a, 0);
+    gac.submit(b, 0);
+    const auto d = gac.submit(c, 0);
+    EXPECT_TRUE(d.accepted);
+    EXPECT_EQ(d.node, 1);
+    EXPECT_EQ(d.local.slotStart, 0u);
+}
+
+TEST(Gac, NegotiateFindsRelaxedDeadline)
+{
+    LocalAdmissionController lac0;
+    GlobalAdmissionController gac;
+    gac.addNode(0, &lac0);
+    Job a = makeJob(0, 1000, 3.0);
+    Job b = makeJob(1, 1000, 3.0);
+    gac.submit(a, 0);
+    gac.submit(b, 0);
+    // A tight job can't fit now, but relaxing its deadline lets it
+    // start at cycle 1000.
+    Job c = makeJob(2, 1000, 1.05);
+    ASSERT_FALSE(gac.submit(c, 0).accepted);
+    const auto relaxed = gac.negotiateDeadline(c, 0, 4.0, 0.25);
+    ASSERT_TRUE(relaxed.has_value());
+    EXPECT_GE(*relaxed, 2000u); // needs start at 1000 + tw 1000
+}
+
+TEST(Gac, NegotiateGivesUpBeyondMaxFactor)
+{
+    AdmissionConfig tiny;
+    tiny.capacity = {1, 16};
+    LocalAdmissionController lac0(tiny);
+    GlobalAdmissionController gac;
+    gac.addNode(0, &lac0);
+    QosTarget t;
+    t.cores = 2; // more cores than the node has
+    t.cacheWays = 7;
+    t.maxWallClock = 1000;
+    t.relativeDeadline = 1050;
+    Job j(0, "bzip2", 1'000'000, t, ModeSpec::strict());
+    EXPECT_FALSE(gac.negotiateDeadline(j, 0).has_value());
+}
+
+TEST(Gac, ProbeCounting)
+{
+    LocalAdmissionController lac0, lac1;
+    GlobalAdmissionController gac;
+    gac.addNode(0, &lac0);
+    gac.addNode(1, &lac1);
+    EXPECT_EQ(gac.nodeCount(), 2u);
+    Job j = makeJob(0, 1000, 2.0);
+    gac.submit(j, 0);
+    EXPECT_GE(gac.probes(), 1u);
+}
+
+} // namespace
+} // namespace cmpqos

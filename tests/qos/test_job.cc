@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the QoS-side job object.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qos/job.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+Job
+makeJob(ModeSpec mode)
+{
+    QosTarget t;
+    t.maxWallClock = 1000;
+    t.relativeDeadline = 2000;
+    return Job(0, "bzip2", 1'000'000, t, mode);
+}
+
+TEST(Job, InitialState)
+{
+    Job j = makeJob(ModeSpec::strict());
+    EXPECT_EQ(j.state(), JobState::Submitted);
+    EXPECT_EQ(j.id(), 0);
+    EXPECT_EQ(j.benchmark(), "bzip2");
+    EXPECT_EQ(j.exec(), nullptr);
+    EXPECT_EQ(j.assignedCore, invalidCore);
+}
+
+TEST(Job, CountsForQos)
+{
+    EXPECT_TRUE(makeJob(ModeSpec::strict()).countsForQos());
+    EXPECT_TRUE(makeJob(ModeSpec::elastic(0.05)).countsForQos());
+    EXPECT_FALSE(makeJob(ModeSpec::opportunistic()).countsForQos());
+}
+
+TEST(Job, RunsReservedNow)
+{
+    Job s = makeJob(ModeSpec::strict());
+    EXPECT_TRUE(s.runsReservedNow());
+    s.autoDowngraded = true;
+    EXPECT_FALSE(s.runsReservedNow());
+    s.promotedToStrict = true;
+    EXPECT_TRUE(s.runsReservedNow());
+    EXPECT_FALSE(makeJob(ModeSpec::opportunistic()).runsReservedNow());
+}
+
+TEST(Job, DeadlineMet)
+{
+    Job j = makeJob(ModeSpec::strict());
+    j.deadline = 5000;
+    j.attachExec(std::make_unique<JobExecution>(
+        0, BenchmarkRegistry::get("bzip2"), 100, 1));
+    j.exec()->startCycle = 0;
+    j.exec()->endCycle = 4000;
+    j.setState(JobState::Completed);
+    EXPECT_TRUE(j.deadlineMet());
+    j.exec()->endCycle = 6000;
+    EXPECT_FALSE(j.deadlineMet());
+    EXPECT_DOUBLE_EQ(j.wallClock(), 6000.0);
+}
+
+TEST(JobDeathTest, DeadlineMetBeforeCompletionPanics)
+{
+    Job j = makeJob(ModeSpec::strict());
+    EXPECT_DEATH((void)j.deadlineMet(), "incomplete");
+}
+
+TEST(Job, StateNames)
+{
+    EXPECT_STREQ(jobStateName(JobState::Submitted), "Submitted");
+    EXPECT_STREQ(jobStateName(JobState::Rejected), "Rejected");
+    EXPECT_STREQ(jobStateName(JobState::Waiting), "Waiting");
+    EXPECT_STREQ(jobStateName(JobState::Running), "Running");
+    EXPECT_STREQ(jobStateName(JobState::Completed), "Completed");
+}
+
+} // namespace
+} // namespace cmpqos

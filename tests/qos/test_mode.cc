@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for execution modes and downgrade algebra (Section 3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "qos/mode.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+TEST(ModeSpec, Factories)
+{
+    EXPECT_EQ(ModeSpec::strict().mode, ExecutionMode::Strict);
+    EXPECT_EQ(ModeSpec::elastic(0.05).mode, ExecutionMode::Elastic);
+    EXPECT_DOUBLE_EQ(ModeSpec::elastic(0.05).slack, 0.05);
+    EXPECT_EQ(ModeSpec::opportunistic().mode,
+              ExecutionMode::Opportunistic);
+}
+
+TEST(ModeSpec, ReservationSemantics)
+{
+    EXPECT_TRUE(ModeSpec::strict().reservesResources());
+    EXPECT_TRUE(ModeSpec::elastic(0.1).reservesResources());
+    EXPECT_FALSE(ModeSpec::opportunistic().reservesResources());
+}
+
+TEST(ModeSpec, ReservationDuration)
+{
+    const Cycle tw = 1'000'000;
+    EXPECT_EQ(ModeSpec::strict().reservationDuration(tw), tw);
+    // Elastic(X) reserves for tw * (1 + X) (Section 3.4).
+    EXPECT_EQ(ModeSpec::elastic(0.05).reservationDuration(tw),
+              1'050'000u);
+    EXPECT_EQ(ModeSpec::elastic(0.20).reservationDuration(tw),
+              1'200'000u);
+    EXPECT_EQ(ModeSpec::opportunistic().reservationDuration(tw), 0u);
+}
+
+TEST(ModeDowngrade, DeadlineSlack)
+{
+    // ta=100, td=400, tw=200 -> slack = 100.
+    EXPECT_EQ(deadlineSlack(100, 400, 200), 100u);
+    // No slack when window == tw.
+    EXPECT_EQ(deadlineSlack(100, 300, 200), 0u);
+    // Negative window clamps to 0.
+    EXPECT_EQ(deadlineSlack(100, 50, 200), 0u);
+}
+
+TEST(ModeDowngrade, MaxInterchangeableElasticSlack)
+{
+    // Section 3.3: X = ((td - ta) - tw) / tw.
+    EXPECT_DOUBLE_EQ(maxInterchangeableElasticSlack(0, 300, 200), 0.5);
+    EXPECT_DOUBLE_EQ(maxInterchangeableElasticSlack(0, 200, 200), 0.0);
+    EXPECT_DOUBLE_EQ(maxInterchangeableElasticSlack(0, 600, 200), 2.0);
+}
+
+TEST(ModeDowngrade, AutoDowngradeSwitchBackPoint)
+{
+    // The job may run Opportunistic until td - tw.
+    EXPECT_EQ(autoDowngradeSwitchBack(1000, 300), 700u);
+    EXPECT_EQ(autoDowngradeSwitchBack(200, 300), 0u);
+}
+
+TEST(ModeDowngrade, Eligibility)
+{
+    // Tight deadline (1.05 tw) has slack -> eligible; the paper's
+    // evaluation downgrades only moderate/relaxed jobs, which is a
+    // policy choice layered above this predicate.
+    EXPECT_TRUE(autoDowngradeEligible(0, 210, 200));
+    EXPECT_FALSE(autoDowngradeEligible(0, 200, 200));
+    EXPECT_TRUE(autoDowngradeEligible(0, 600, 200));
+}
+
+TEST(ModeNames, Strings)
+{
+    EXPECT_STREQ(executionModeName(ExecutionMode::Strict), "Strict");
+    EXPECT_STREQ(executionModeName(ExecutionMode::Elastic), "Elastic");
+    EXPECT_STREQ(executionModeName(ExecutionMode::Opportunistic),
+                 "Opportunistic");
+}
+
+} // namespace
+} // namespace cmpqos

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for resource vectors and the reservation timeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qos/resource.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+TEST(ResourceVector, FitsWithin)
+{
+    ResourceVector cap{4, 16};
+    EXPECT_TRUE((ResourceVector{1, 7}).fitsWithin(cap));
+    EXPECT_TRUE((ResourceVector{4, 16}).fitsWithin(cap));
+    EXPECT_FALSE((ResourceVector{5, 1}).fitsWithin(cap));
+    EXPECT_FALSE((ResourceVector{1, 17}).fitsWithin(cap));
+}
+
+TEST(ResourceVector, Arithmetic)
+{
+    ResourceVector a{2, 7}, b{1, 7};
+    EXPECT_EQ(a + b, (ResourceVector{3, 14}));
+    EXPECT_EQ(a.minus(b), (ResourceVector{1, 0}));
+    // Saturating subtraction.
+    EXPECT_EQ(b.minus(a), (ResourceVector{0, 0}));
+}
+
+TEST(ResourceTimeline, EmptyAvailability)
+{
+    ResourceTimeline t({4, 16});
+    EXPECT_EQ(t.availableAt(0), (ResourceVector{4, 16}));
+    EXPECT_EQ(t.availableAt(1'000'000), (ResourceVector{4, 16}));
+}
+
+TEST(ResourceTimeline, ReservationReducesAvailability)
+{
+    ResourceTimeline t({4, 16});
+    t.reserve(0, 100, 200, {1, 7});
+    EXPECT_EQ(t.availableAt(99), (ResourceVector{4, 16}));
+    EXPECT_EQ(t.availableAt(100), (ResourceVector{3, 9}));
+    EXPECT_EQ(t.availableAt(199), (ResourceVector{3, 9}));
+    EXPECT_EQ(t.availableAt(200), (ResourceVector{4, 16}));
+    EXPECT_EQ(t.reservedAt(150), (ResourceVector{1, 7}));
+}
+
+TEST(ResourceTimeline, FitsThroughout)
+{
+    ResourceTimeline t({4, 16});
+    t.reserve(0, 100, 200, {2, 14});
+    EXPECT_TRUE(t.fitsThroughout(0, 100, {4, 16}));
+    EXPECT_TRUE(t.fitsThroughout(100, 200, {2, 2}));
+    EXPECT_FALSE(t.fitsThroughout(50, 150, {3, 3}));
+    EXPECT_FALSE(t.fitsThroughout(150, 250, {2, 14}));
+}
+
+TEST(ResourceTimeline, EarliestStartImmediate)
+{
+    ResourceTimeline t({4, 16});
+    EXPECT_EQ(t.findEarliestStart({1, 7}, 100, 50, 1000), 50u);
+}
+
+TEST(ResourceTimeline, EarliestStartAfterConflict)
+{
+    ResourceTimeline t({4, 16});
+    t.reserve(0, 0, 500, {4, 16}); // fully booked until 500
+    EXPECT_EQ(t.findEarliestStart({1, 7}, 100, 0, 1000), 500u);
+    // Deadline too tight: no slot.
+    EXPECT_EQ(t.findEarliestStart({1, 7}, 100, 0, 400), maxCycle);
+}
+
+TEST(ResourceTimeline, EarliestStartSqueezesBetween)
+{
+    ResourceTimeline t({4, 16});
+    t.reserve(0, 0, 100, {4, 16});
+    t.reserve(1, 300, 400, {4, 16});
+    // A 150-cycle job fits in [100, 300).
+    EXPECT_EQ(t.findEarliestStart({2, 8}, 150, 0, 1000), 100u);
+    // A 250-cycle job does not fit between; must wait until 400.
+    EXPECT_EQ(t.findEarliestStart({2, 8}, 250, 0, 1000), 400u);
+}
+
+TEST(ResourceTimeline, PartialOverlapRespectsWays)
+{
+    ResourceTimeline t({4, 16});
+    t.reserve(0, 0, 1000, {1, 7});
+    t.reserve(1, 0, 1000, {1, 7});
+    // Third 7-way job cannot overlap the first two (14+7 > 16).
+    EXPECT_EQ(t.findEarliestStart({1, 7}, 100, 0, 2000), 1000u);
+    // But a 2-way job fits concurrently.
+    EXPECT_EQ(t.findEarliestStart({1, 2}, 100, 0, 2000), 0u);
+}
+
+TEST(ResourceTimeline, LatestStartPrefersLatest)
+{
+    ResourceTimeline t({4, 16});
+    // Free timeline: latest start is the bound itself.
+    EXPECT_EQ(t.findLatestStart({1, 7}, 100, 0, 900), 900u);
+}
+
+TEST(ResourceTimeline, LatestStartAvoidsConflicts)
+{
+    ResourceTimeline t({4, 16});
+    t.reserve(0, 500, 1500, {4, 16});
+    // Latest feasible start for a 200-cycle slot ending by 1000...
+    // slot [800, 1000) conflicts; must end by 500 -> start 300.
+    EXPECT_EQ(t.findLatestStart({1, 7}, 200, 0, 800), 300u);
+    // After the blocker, latest start inside [0, 2000] is 2000.
+    EXPECT_EQ(t.findLatestStart({1, 7}, 200, 0, 2000), 2000u);
+}
+
+TEST(ResourceTimeline, ReleaseFromReclaimsRemainder)
+{
+    ResourceTimeline t({4, 16});
+    t.reserve(7, 0, 1000, {1, 7});
+    t.releaseFrom(7, 400);
+    EXPECT_EQ(t.availableAt(500), (ResourceVector{4, 16}));
+    EXPECT_EQ(t.availableAt(300), (ResourceVector{3, 9}));
+}
+
+TEST(ResourceTimeline, ReleaseFromDropsFutureReservations)
+{
+    ResourceTimeline t({4, 16});
+    t.reserve(7, 1000, 2000, {1, 7});
+    t.releaseFrom(7, 500); // completed before the slot even began
+    EXPECT_EQ(t.availableAt(1500), (ResourceVector{4, 16}));
+    EXPECT_TRUE(t.reservations().empty());
+}
+
+TEST(ResourceTimeline, CancelRemovesAll)
+{
+    ResourceTimeline t({4, 16});
+    t.reserve(3, 0, 100, {1, 7});
+    t.reserve(3, 200, 300, {1, 7});
+    t.reserve(4, 0, 100, {1, 7});
+    t.cancel(3);
+    EXPECT_EQ(t.reservations().size(), 1u);
+    EXPECT_EQ(t.reservations()[0].job, 4);
+}
+
+TEST(ResourceTimeline, PruneDropsExpired)
+{
+    ResourceTimeline t({4, 16});
+    t.reserve(0, 0, 100, {1, 7});
+    t.reserve(1, 50, 400, {1, 7});
+    t.pruneBefore(200);
+    EXPECT_EQ(t.reservations().size(), 1u);
+    EXPECT_EQ(t.reservations()[0].job, 1);
+}
+
+TEST(ResourceTimelineDeathTest, OverlappingOverCommitPanics)
+{
+    ResourceTimeline t({4, 16});
+    t.reserve(0, 0, 100, {4, 16});
+    EXPECT_DEATH(t.reserve(1, 50, 150, {1, 1}), "does not fit");
+}
+
+} // namespace
+} // namespace cmpqos

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit tests for the QoS scheduler (pinning, pool sharing, parking,
+ * promotion).
+ */
+
+#include <gtest/gtest.h>
+
+#include "qos/scheduler.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+struct SchedFixture : public ::testing::Test
+{
+    SchedFixture() : sys(makeConfig()), sim(sys), sched(sim, sys) {}
+
+    static CmpConfig
+    makeConfig()
+    {
+        CmpConfig c;
+        c.chunkInstructions = 10'000;
+        return c;
+    }
+
+    Job *
+    makeJob(ModeSpec mode, InstCount n = 10'000'000)
+    {
+        QosTarget t;
+        t.cores = 1;
+        t.cacheWays = 7;
+        t.maxWallClock = 100'000'000;
+        t.relativeDeadline = 200'000'000;
+        auto job = std::make_unique<Job>(
+            static_cast<JobId>(jobs.size()), "gobmk", n, t, mode);
+        job->attachExec(std::make_unique<JobExecution>(
+            job->id(), BenchmarkRegistry::get("gobmk"), n,
+            40 + job->id()));
+        jobs.push_back(std::move(job));
+        return jobs.back().get();
+    }
+
+    CmpSystem sys;
+    Simulation sim;
+    Scheduler sched;
+    std::vector<std::unique_ptr<Job>> jobs;
+};
+
+TEST_F(SchedFixture, ReservedJobGetsOwnCore)
+{
+    Job *a = makeJob(ModeSpec::strict());
+    const CoreId c = sched.startReserved(*a);
+    ASSERT_NE(c, invalidCore);
+    EXPECT_EQ(a->assignedCore, c);
+    EXPECT_EQ(sched.reservedOccupant(c), a->id());
+    EXPECT_EQ(sys.l2().targetWays(c), 7u);
+    EXPECT_EQ(sys.l2().coreClass(c), CoreClass::Reserved);
+    EXPECT_EQ(sys.runningJob(c), a->exec());
+    EXPECT_EQ(sched.reservedCores(), 1);
+}
+
+TEST_F(SchedFixture, TwoReservedJobsDistinctCores)
+{
+    Job *a = makeJob(ModeSpec::strict());
+    Job *b = makeJob(ModeSpec::strict());
+    const CoreId ca = sched.startReserved(*a);
+    const CoreId cb = sched.startReserved(*b);
+    EXPECT_NE(ca, cb);
+    EXPECT_EQ(sched.reservedCores(), 2);
+}
+
+TEST_F(SchedFixture, WayHeadroomBlocksThirdSevenWayJob)
+{
+    sched.startReserved(*makeJob(ModeSpec::strict()));
+    sched.startReserved(*makeJob(ModeSpec::strict()));
+    Job *c = makeJob(ModeSpec::strict());
+    // 7+7+7 > 16: must defer even though cores are free.
+    EXPECT_EQ(sched.startReserved(*c), invalidCore);
+}
+
+TEST_F(SchedFixture, OpportunisticSharesPoolCores)
+{
+    Job *o1 = makeJob(ModeSpec::opportunistic());
+    Job *o2 = makeJob(ModeSpec::opportunistic());
+    sched.startOpportunistic(*o1);
+    sched.startOpportunistic(*o2);
+    const CoreId c1 = sys.coreOf(o1->exec());
+    const CoreId c2 = sys.coreOf(o2->exec());
+    ASSERT_NE(c1, invalidCore);
+    ASSERT_NE(c2, invalidCore);
+    EXPECT_NE(c1, c2); // least-loaded spreads them out
+    EXPECT_EQ(sys.l2().coreClass(c1), CoreClass::Opportunistic);
+    EXPECT_EQ(sys.l2().targetWays(c1), 0u);
+}
+
+TEST_F(SchedFixture, ReservedEvictsPoolJobs)
+{
+    // Fill all four cores with opportunistic jobs, then start a
+    // reserved job: pool jobs must migrate off its core.
+    std::vector<Job *> pool;
+    for (int i = 0; i < 4; ++i) {
+        pool.push_back(makeJob(ModeSpec::opportunistic()));
+        sched.startOpportunistic(*pool.back());
+    }
+    Job *s = makeJob(ModeSpec::strict());
+    const CoreId c = sched.startReserved(*s);
+    ASSERT_NE(c, invalidCore);
+    EXPECT_EQ(sys.queueLength(c), 1u); // only the reserved job
+    // All pool jobs still placed somewhere.
+    for (Job *p : pool)
+        EXPECT_NE(sys.coreOf(p->exec()), invalidCore);
+}
+
+TEST_F(SchedFixture, ParkWhenAllCoresReserved)
+{
+    // Use 4-way jobs so four reserved jobs fit way-wise.
+    std::vector<Job *> res;
+    for (int i = 0; i < 4; ++i) {
+        QosTarget t;
+        t.cores = 1;
+        t.cacheWays = 4;
+        t.maxWallClock = 100'000'000;
+        t.relativeDeadline = 200'000'000;
+        auto job = std::make_unique<Job>(
+            static_cast<JobId>(jobs.size()), "gobmk", 10'000'000, t,
+            ModeSpec::strict());
+        job->attachExec(std::make_unique<JobExecution>(
+            job->id(), BenchmarkRegistry::get("gobmk"), 10'000'000,
+            90 + i));
+        jobs.push_back(std::move(job));
+        res.push_back(jobs.back().get());
+        ASSERT_NE(sched.startReserved(*res.back()), invalidCore);
+    }
+    Job *o = makeJob(ModeSpec::opportunistic());
+    sched.startOpportunistic(*o);
+    EXPECT_EQ(sched.parkedCount(), 1u);
+    EXPECT_EQ(o->state(), JobState::Waiting);
+
+    // When a reserved job finishes, the parked job unparks.
+    res[0]->exec()->noteExecuted(10'000'000);
+    sched.jobFinished(*res[0]);
+    EXPECT_EQ(sched.parkedCount(), 0u);
+    EXPECT_EQ(o->state(), JobState::Running);
+    EXPECT_NE(sys.coreOf(o->exec()), invalidCore);
+}
+
+TEST_F(SchedFixture, JobFinishedReleasesCore)
+{
+    Job *a = makeJob(ModeSpec::strict());
+    const CoreId c = sched.startReserved(*a);
+    sys.dequeueJob(a->exec()); // simulate completion dequeue
+    sched.jobFinished(*a);
+    EXPECT_EQ(sched.reservedOccupant(c), invalidJob);
+    EXPECT_EQ(sys.l2().coreClass(c), CoreClass::Inactive);
+    EXPECT_EQ(sched.reservedCores(), 0);
+}
+
+TEST_F(SchedFixture, RebalanceSpreadsPoolAfterRelease)
+{
+    // Two reserved jobs occupy cores 0-1; three opportunistic jobs
+    // crowd cores 2-3. When a reserved job finishes, its core should
+    // pick up one of the crowded pool jobs.
+    Job *s1 = makeJob(ModeSpec::strict());
+    Job *s2 = makeJob(ModeSpec::strict());
+    sched.startReserved(*s1);
+    sched.startReserved(*s2);
+    for (int i = 0; i < 3; ++i)
+        sched.startOpportunistic(*makeJob(ModeSpec::opportunistic()));
+
+    std::size_t max_q = 0;
+    for (int c = 0; c < 4; ++c)
+        max_q = std::max(max_q, sys.queueLength(c));
+    EXPECT_EQ(max_q, 2u);
+
+    sys.dequeueJob(s1->exec());
+    sched.jobFinished(*s1);
+    // Now three pool cores for three pool jobs: 1 each.
+    for (int c = 0; c < 4; ++c)
+        EXPECT_LE(sys.queueLength(c), 1u);
+}
+
+TEST_F(SchedFixture, PromoteMovesJobToReservedCore)
+{
+    Job *j = makeJob(ModeSpec::strict());
+    j->autoDowngraded = true;
+    sched.startOpportunistic(*j);
+    const CoreId pool_core = sys.coreOf(j->exec());
+    ASSERT_NE(pool_core, invalidCore);
+
+    const CoreId c = sched.promote(*j);
+    ASSERT_NE(c, invalidCore);
+    EXPECT_EQ(sched.reservedOccupant(c), j->id());
+    EXPECT_EQ(sys.l2().targetWays(c), 7u);
+    EXPECT_EQ(sys.coreOf(j->exec()), c);
+    EXPECT_EQ(sys.queueLength(c), 1u);
+}
+
+TEST_F(SchedFixture, PromoteParkedJob)
+{
+    // A parked auto-downgraded job can still be promoted directly.
+    std::vector<Job *> res;
+    for (int i = 0; i < 4; ++i) {
+        QosTarget t;
+        t.cores = 1;
+        t.cacheWays = 3;
+        t.maxWallClock = 100'000'000;
+        t.relativeDeadline = 300'000'000;
+        auto job = std::make_unique<Job>(
+            static_cast<JobId>(jobs.size()), "gobmk", 10'000'000, t,
+            ModeSpec::strict());
+        job->attachExec(std::make_unique<JobExecution>(
+            job->id(), BenchmarkRegistry::get("gobmk"), 10'000'000,
+            70 + i));
+        jobs.push_back(std::move(job));
+        res.push_back(jobs.back().get());
+        sched.startReserved(*res.back());
+    }
+    Job *j = makeJob(ModeSpec::strict());
+    j->autoDowngraded = true;
+    sched.startOpportunistic(*j); // parked: no pool core
+    ASSERT_EQ(sched.parkedCount(), 1u);
+
+    // Free one core, then promote.
+    sys.dequeueJob(res[0]->exec());
+    sched.jobFinished(*res[0]);
+    // jobFinished unparks it as a pool job first; promotion then
+    // pins it.
+    const CoreId c = sched.promote(*j);
+    ASSERT_NE(c, invalidCore);
+    EXPECT_EQ(sched.reservedOccupant(c), j->id());
+}
+
+} // namespace
+} // namespace cmpqos

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the multi-node CMP server (Section 3.1's environment):
+ * global placement across nodes plus end-to-end execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qos/server.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+FrameworkConfig
+fastConfig()
+{
+    FrameworkConfig fc;
+    fc.cmp.chunkInstructions = 20'000;
+    return fc;
+}
+
+JobRequest
+strictReq(const char *bench, double deadline = 1.05)
+{
+    JobRequest r;
+    r.benchmark = bench;
+    r.mode = ModeSpec::strict();
+    r.deadlineFactor = deadline;
+    return r;
+}
+
+TEST(CmpServer, FirstFitFillsNodeZeroFirst)
+{
+    CmpServer server(2, fastConfig(), GacPolicy::FirstFit);
+    // Two 7-way jobs fit on node 0 concurrently.
+    EXPECT_EQ(server.submit(strictReq("gobmk"), 2'000'000).node, 0);
+    EXPECT_EQ(server.submit(strictReq("gobmk"), 2'000'000).node, 0);
+    // A third tight-deadline job overflows to node 1.
+    EXPECT_EQ(server.submit(strictReq("gobmk"), 2'000'000).node, 1);
+    EXPECT_EQ(server.placedOn(0), 2u);
+    EXPECT_EQ(server.placedOn(1), 1u);
+}
+
+TEST(CmpServer, EarliestSlotBalances)
+{
+    CmpServer server(2, fastConfig(), GacPolicy::EarliestSlot);
+    // With loose deadlines node 0 would queue job 3; EarliestSlot
+    // sends it to node 1 where it can start at once.
+    server.submit(strictReq("gobmk", 5.0), 2'000'000);
+    server.submit(strictReq("gobmk", 5.0), 2'000'000);
+    const auto d = server.submit(strictReq("gobmk", 5.0), 2'000'000);
+    EXPECT_EQ(d.node, 1);
+    EXPECT_EQ(d.local.slotStart, 0u);
+}
+
+TEST(CmpServer, RejectsWhenEveryNodeIsFull)
+{
+    CmpServer server(2, fastConfig());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(
+            server.submit(strictReq("gobmk"), 2'000'000).accepted);
+    // Fifth tight job: both nodes' ways are committed now.
+    const auto d = server.submit(strictReq("gobmk"), 2'000'000);
+    EXPECT_FALSE(d.accepted);
+    EXPECT_EQ(server.rejectedCount(), 1u);
+    EXPECT_EQ(server.acceptedCount(), 4u);
+    server.runToCompletion();
+    EXPECT_TRUE(server.allQosDeadlinesMet());
+}
+
+TEST(CmpServer, ExecutionMeetsDeadlinesOnEveryNode)
+{
+    CmpServer server(3, fastConfig(), GacPolicy::EarliestSlot);
+    const char *benches[] = {"bzip2", "gobmk", "hmmer",
+                             "bzip2", "gobmk", "hmmer"};
+    int accepted = 0;
+    for (const char *b : benches)
+        accepted += server.submit(strictReq(b, 2.0), 3'000'000).accepted;
+    EXPECT_EQ(accepted, 6);
+    server.runToCompletion();
+    EXPECT_TRUE(server.allQosDeadlinesMet());
+    for (int n = 0; n < 3; ++n)
+        EXPECT_GT(server.placedOn(n), 0u);
+}
+
+TEST(CmpServer, MixedModesAcrossNodes)
+{
+    CmpServer server(2, fastConfig());
+    JobRequest opp;
+    opp.benchmark = "bzip2";
+    opp.mode = ModeSpec::opportunistic();
+    opp.deadlineFactor = 6.0;
+    JobRequest elastic;
+    elastic.benchmark = "gobmk";
+    elastic.mode = ModeSpec::elastic(0.05);
+    elastic.deadlineFactor = 2.0;
+
+    EXPECT_TRUE(server.submit(strictReq("hmmer", 2.0), 3'000'000)
+                    .accepted);
+    EXPECT_TRUE(server.submit(elastic, 3'000'000).accepted);
+    EXPECT_TRUE(server.submit(opp, 3'000'000).accepted);
+    server.runToCompletion();
+    EXPECT_TRUE(server.allQosDeadlinesMet());
+}
+
+TEST(CmpServer, ProbeCountsAccumulate)
+{
+    CmpServer server(3, fastConfig());
+    server.submit(strictReq("gobmk"), 1'000'000);
+    EXPECT_GE(server.probes(), 1u);
+    EXPECT_LE(server.probes(), 3u);
+}
+
+} // namespace
+} // namespace cmpqos

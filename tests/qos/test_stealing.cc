@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Unit tests for the resource stealing engine (Sections 4.2-4.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "qos/scheduler.hh"
+#include "qos/stealing.hh"
+#include "sim/simulation.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+struct StealFixture : public ::testing::Test
+{
+    StealFixture()
+        : sys(makeConfig()), sim(sys), sched(sim, sys),
+          steal(sys, makeStealConfig())
+    {
+        sim.setQuantumHook([this](CoreId c, JobExecution *e) {
+            steal.onQuantum(c, e);
+        });
+    }
+
+    static CmpConfig
+    makeConfig()
+    {
+        CmpConfig c;
+        c.chunkInstructions = 20'000;
+        return c;
+    }
+
+    static StealingConfig
+    makeStealConfig()
+    {
+        StealingConfig s;
+        s.intervalInstructions = 500'000; // fast intervals for tests
+        return s;
+    }
+
+    Job *
+    makeElastic(const char *bench, double slack, InstCount n)
+    {
+        QosTarget t;
+        t.cores = 1;
+        t.cacheWays = 7;
+        t.maxWallClock = 1'000'000'000;
+        t.relativeDeadline = 2'000'000'000;
+        auto job = std::make_unique<Job>(
+            static_cast<JobId>(jobs.size()), bench, n, t,
+            ModeSpec::elastic(slack));
+        job->attachExec(std::make_unique<JobExecution>(
+            job->id(), BenchmarkRegistry::get(bench), n,
+            10 + job->id()));
+        jobs.push_back(std::move(job));
+        return jobs.back().get();
+    }
+
+    Job *
+    makeOpportunistic(const char *bench, InstCount n)
+    {
+        QosTarget t;
+        t.maxWallClock = 1'000'000'000;
+        t.relativeDeadline = 2'000'000'000;
+        auto job = std::make_unique<Job>(
+            static_cast<JobId>(jobs.size()), bench, n, t,
+            ModeSpec::opportunistic());
+        job->attachExec(std::make_unique<JobExecution>(
+            job->id(), BenchmarkRegistry::get(bench), n,
+            10 + job->id()));
+        jobs.push_back(std::move(job));
+        return jobs.back().get();
+    }
+
+    CmpSystem sys;
+    Simulation sim;
+    Scheduler sched;
+    ResourceStealingEngine steal;
+    std::vector<std::unique_ptr<Job>> jobs;
+};
+
+TEST_F(StealFixture, ActivateAttachesDuplicateTags)
+{
+    Job *j = makeElastic("gobmk", 0.05, 5'000'000);
+    sched.startReserved(*j);
+    steal.activate(*j);
+    ASSERT_NE(j->exec()->duplicateTags(), nullptr);
+    EXPECT_EQ(j->exec()->duplicateTags()->baselineWays(), 7u);
+    EXPECT_EQ(j->exec()->duplicateTags()->samplePeriod(), 8u);
+}
+
+TEST_F(StealFixture, StealsFromInsensitiveDonor)
+{
+    // gobmk barely uses its 7 ways: stealing should remove several
+    // ways without tripping the 5% miss bound.
+    Job *j = makeElastic("gobmk", 0.05, 6'000'000);
+    sched.startReserved(*j);
+    steal.activate(*j);
+    sim.run();
+    EXPECT_TRUE(j->exec()->complete());
+    steal.deactivate(*j);
+    EXPECT_GE(j->stolenWays, 3u);
+    EXPECT_EQ(steal.totalCancels(), 0u);
+    // Target actually shrank in the L2.
+    EXPECT_LT(sys.l2().targetWays(j->assignedCore), 7u);
+}
+
+TEST_F(StealFixture, NeverStealsBelowMinWays)
+{
+    Job *j = makeElastic("povray", 0.50, 30'000'000);
+    sched.startReserved(*j);
+    steal.activate(*j);
+    sim.run();
+    EXPECT_GE(sys.l2().targetWays(j->assignedCore),
+              steal.config().minWays);
+    EXPECT_LE(j->stolenWays, 6u);
+}
+
+TEST_F(StealFixture, CancelsForSensitiveVictim)
+{
+    // bzip2 heavily uses its partition: shrinking it raises misses
+    // fast, so stealing must cancel and return the ways. With a
+    // permanent cancel the partition stays restored for good.
+    StealingConfig cfg = makeStealConfig();
+    cfg.permanentCancel = true;
+    ResourceStealingEngine engine(sys, cfg);
+    sim.setQuantumHook([&](CoreId c, JobExecution *e) {
+        engine.onQuantum(c, e);
+    });
+    Job *j = makeElastic("bzip2", 0.02, 20'000'000);
+    sched.startReserved(*j);
+    engine.activate(*j);
+    sim.run();
+    engine.deactivate(*j);
+    EXPECT_TRUE(j->stealingCancelled);
+    EXPECT_GE(engine.totalCancels(), 1u);
+    // All ways returned on cancel.
+    EXPECT_EQ(sys.l2().targetWays(j->assignedCore), 7u);
+}
+
+TEST_F(StealFixture, OscillatingStealHoldsTheBound)
+{
+    // Default (non-permanent) cancel: stealing resumes once the
+    // cumulative miss increase decays, oscillating below the bound;
+    // the bound itself still holds throughout.
+    Job *j = makeElastic("bzip2", 0.05, 20'000'000);
+    sched.startReserved(*j);
+    steal.activate(*j);
+    double worst = 0.0;
+    sim.setQuantumHook([&](CoreId c, JobExecution *e) {
+        steal.onQuantum(c, e);
+        if (DuplicateTagArray *dup = j->exec()->duplicateTags())
+            worst = std::max(worst, dup->missIncrease());
+    });
+    sim.run();
+    steal.deactivate(*j);
+    // Bounded by slack plus one interval of overshoot.
+    EXPECT_LT(worst, 0.05 + 0.05);
+    EXPECT_GE(steal.totalCancels(), 1u);
+}
+
+TEST_F(StealFixture, MissIncreaseBoundedBySlack)
+{
+    // The defining QoS property of Elastic(X): total misses grow by
+    // at most ~X% (one interval of overshoot tolerance).
+    Job *j = makeElastic("bzip2", 0.05, 25'000'000);
+    Job *o = makeOpportunistic("bzip2", 25'000'000);
+    sched.startReserved(*j);
+    sched.startOpportunistic(*o);
+    steal.activate(*j);
+    sim.run();
+    steal.deactivate(*j);
+    // Allow modest overshoot: one repartition interval of extra
+    // misses beyond the bound check granularity.
+    EXPECT_LT(j->observedMissIncrease, 0.05 + 0.04);
+}
+
+TEST_F(StealFixture, StolenWaysReachOpportunisticJob)
+{
+    // The opportunistic pool grows by exactly the stolen ways.
+    Job *j = makeElastic("gobmk", 0.05, 6'000'000);
+    Job *o = makeOpportunistic("bzip2", 12'000'000);
+    sched.startReserved(*j);
+    sched.startOpportunistic(*o);
+    steal.activate(*j);
+
+    unsigned max_pool = 0;
+    sim.setQuantumHook([&](CoreId c, JobExecution *e) {
+        steal.onQuantum(c, e);
+        max_pool = std::max(max_pool, sys.l2().allocation().poolWays());
+    });
+    sim.run();
+    // Base pool = 16 - 7 = 9; steals should push it past 12.
+    EXPECT_GE(max_pool, 12u);
+}
+
+TEST_F(StealFixture, DeactivateDetachesAndRecords)
+{
+    Job *j = makeElastic("gobmk", 0.05, 3'000'000);
+    sched.startReserved(*j);
+    steal.activate(*j);
+    sim.run();
+    steal.deactivate(*j);
+    EXPECT_EQ(j->exec()->duplicateTags(), nullptr);
+    EXPECT_EQ(steal.stolenWays(*j), 0u); // untracked now
+}
+
+TEST_F(StealFixture, DisabledEngineDoesNothing)
+{
+    StealingConfig off;
+    off.enabled = false;
+    ResourceStealingEngine engine(sys, off);
+    Job *j = makeElastic("gobmk", 0.05, 2'000'000);
+    sched.startReserved(*j);
+    engine.activate(*j);
+    EXPECT_EQ(j->exec()->duplicateTags(), nullptr);
+    sim.run();
+    EXPECT_EQ(engine.totalSteals(), 0u);
+    EXPECT_EQ(sys.l2().targetWays(j->assignedCore), 7u);
+}
+
+TEST_F(StealFixture, UntrackedJobIgnoredByHook)
+{
+    Job *o = makeOpportunistic("gobmk", 1'000'000);
+    sched.startOpportunistic(*o);
+    sim.run();
+    EXPECT_EQ(steal.totalSteals(), 0u);
+}
+
+} // namespace
+} // namespace cmpqos

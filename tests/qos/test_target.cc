@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for QoS target specification (Section 3.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "qos/target.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+TEST(TargetUnits, OnlyRumIsConvertible)
+{
+    // The paper's core argument: RUM can be compared against
+    // available capacity; IPC (OPM) and miss rate (RPM) cannot.
+    EXPECT_TRUE(isConvertible(TargetUnits::RUM));
+    EXPECT_FALSE(isConvertible(TargetUnits::RPM));
+    EXPECT_FALSE(isConvertible(TargetUnits::OPM));
+}
+
+TEST(QosTarget, CacheBytes)
+{
+    QosTarget t;
+    t.cacheWays = 7;
+    // 7 of 16 ways of a 2MB L2 = 896KB (Section 6).
+    EXPECT_EQ(t.cacheBytes(), 896u * 1024u);
+}
+
+TEST(QosTarget, Presets)
+{
+    EXPECT_LT(QosTarget::small().cacheWays, QosTarget::medium().cacheWays);
+    EXPECT_LT(QosTarget::medium().cacheWays, QosTarget::large().cacheWays);
+    EXPECT_EQ(QosTarget::large().cores, 2u);
+}
+
+TEST(QosTarget, ValidateAcceptsReasonable)
+{
+    QosTarget t;
+    t.cores = 1;
+    t.cacheWays = 7;
+    t.maxWallClock = 1000;
+    t.relativeDeadline = 1050;
+    t.validate(4, 16); // should not exit
+    SUCCEED();
+}
+
+TEST(QosTargetDeathTest, ZeroCores)
+{
+    QosTarget t;
+    t.cores = 0;
+    EXPECT_EXIT(t.validate(4, 16), ::testing::ExitedWithCode(1),
+                "zero cores");
+}
+
+TEST(QosTargetDeathTest, TooManyWays)
+{
+    QosTarget t;
+    t.cacheWays = 20;
+    t.maxWallClock = 10;
+    t.relativeDeadline = 20;
+    EXPECT_EXIT(t.validate(4, 16), ::testing::ExitedWithCode(1),
+                "ways");
+}
+
+TEST(QosTargetDeathTest, DeadlineBeforeWallClock)
+{
+    QosTarget t;
+    t.maxWallClock = 100;
+    t.relativeDeadline = 50;
+    EXPECT_EXIT(t.validate(4, 16), ::testing::ExitedWithCode(1),
+                "deadline");
+}
+
+TEST(QosTarget, NoTimeslotSkipsTimeChecks)
+{
+    QosTarget t;
+    t.hasTimeslot = false;
+    t.maxWallClock = 0;
+    t.validate(4, 16);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace cmpqos

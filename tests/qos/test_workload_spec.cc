@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for workload construction (Section 6, Tables 2-3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "qos/workload_spec.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+int
+countMode(const WorkloadSpec &spec, ExecutionMode m)
+{
+    return static_cast<int>(
+        std::count_if(spec.jobs.begin(), spec.jobs.end(),
+                      [&](const JobRequest &r) {
+                          return r.mode.mode == m;
+                      }));
+}
+
+TEST(WorkloadSpec, DeadlineMixProportions)
+{
+    const auto mix = makeDeadlineMix(10, 42);
+    EXPECT_EQ(std::count(mix.begin(), mix.end(), 1.05), 5);
+    EXPECT_EQ(std::count(mix.begin(), mix.end(), 2.0), 3);
+    EXPECT_EQ(std::count(mix.begin(), mix.end(), 3.0), 2);
+}
+
+TEST(WorkloadSpec, DeadlineMixDeterministicPerSeed)
+{
+    EXPECT_EQ(makeDeadlineMix(10, 7), makeDeadlineMix(10, 7));
+    EXPECT_NE(makeDeadlineMix(10, 7), makeDeadlineMix(10, 8));
+}
+
+TEST(WorkloadSpec, AllStrictIsAllStrict)
+{
+    const auto spec = makeSingleBenchmarkWorkload(
+        ModeConfig::AllStrict, "bzip2", 10, 1'000'000, 1);
+    EXPECT_EQ(countMode(spec, ExecutionMode::Strict), 10);
+    for (const auto &r : spec.jobs) {
+        EXPECT_EQ(r.benchmark, "bzip2");
+        EXPECT_EQ(r.ways, 7u);
+        EXPECT_EQ(r.cores, 1u);
+    }
+}
+
+TEST(WorkloadSpec, Hybrid1Mix)
+{
+    const auto spec = makeSingleBenchmarkWorkload(
+        ModeConfig::Hybrid1, "hmmer", 10, 1'000'000, 1);
+    EXPECT_EQ(countMode(spec, ExecutionMode::Strict), 7);
+    EXPECT_EQ(countMode(spec, ExecutionMode::Opportunistic), 3);
+}
+
+TEST(WorkloadSpec, Hybrid2Mix)
+{
+    const auto spec = makeSingleBenchmarkWorkload(
+        ModeConfig::Hybrid2, "gobmk", 10, 1'000'000, 1);
+    EXPECT_EQ(countMode(spec, ExecutionMode::Strict), 4);
+    EXPECT_EQ(countMode(spec, ExecutionMode::Elastic), 3);
+    EXPECT_EQ(countMode(spec, ExecutionMode::Opportunistic), 3);
+    for (const auto &r : spec.jobs) {
+        if (r.mode.mode == ExecutionMode::Elastic) {
+            EXPECT_DOUBLE_EQ(r.mode.slack, 0.05);
+        }
+    }
+}
+
+TEST(WorkloadSpec, Mix1RoleAssignments)
+{
+    const auto spec = makeMixedWorkload(ModeConfig::Hybrid2,
+                                        MixType::Mix1, 9, 1'000'000, 1);
+    for (const auto &r : spec.jobs) {
+        if (r.benchmark == "hmmer")
+            EXPECT_EQ(r.mode.mode, ExecutionMode::Strict);
+        else if (r.benchmark == "gobmk")
+            EXPECT_EQ(r.mode.mode, ExecutionMode::Elastic);
+        else if (r.benchmark == "bzip2")
+            EXPECT_EQ(r.mode.mode, ExecutionMode::Opportunistic);
+        else
+            FAIL() << "unexpected benchmark " << r.benchmark;
+    }
+}
+
+TEST(WorkloadSpec, Mix2SwapsElasticAndOpportunistic)
+{
+    const auto spec = makeMixedWorkload(ModeConfig::Hybrid2,
+                                        MixType::Mix2, 9, 1'000'000, 1);
+    for (const auto &r : spec.jobs) {
+        if (r.benchmark == "bzip2") {
+            EXPECT_EQ(r.mode.mode, ExecutionMode::Elastic);
+        }
+        if (r.benchmark == "gobmk") {
+            EXPECT_EQ(r.mode.mode, ExecutionMode::Opportunistic);
+        }
+    }
+}
+
+TEST(WorkloadSpec, MixedAllStrictKeepsBenchmarkComposition)
+{
+    const auto spec = makeMixedWorkload(ModeConfig::AllStrict,
+                                        MixType::Mix1, 9, 1'000'000, 1);
+    int hmmer = 0, gobmk = 0, bzip2 = 0;
+    for (const auto &r : spec.jobs) {
+        EXPECT_EQ(r.mode.mode, ExecutionMode::Strict);
+        hmmer += r.benchmark == "hmmer";
+        gobmk += r.benchmark == "gobmk";
+        bzip2 += r.benchmark == "bzip2";
+    }
+    EXPECT_EQ(hmmer, 3);
+    EXPECT_EQ(gobmk, 3);
+    EXPECT_EQ(bzip2, 3);
+}
+
+TEST(WorkloadSpec, Hybrid1MixedOnlyOpportunisticRoles)
+{
+    const auto spec = makeMixedWorkload(ModeConfig::Hybrid1,
+                                        MixType::Mix1, 9, 1'000'000, 1);
+    for (const auto &r : spec.jobs) {
+        if (r.benchmark == "bzip2")
+            EXPECT_EQ(r.mode.mode, ExecutionMode::Opportunistic);
+        else
+            EXPECT_EQ(r.mode.mode, ExecutionMode::Strict);
+    }
+}
+
+TEST(WorkloadSpec, ConfigNames)
+{
+    EXPECT_STREQ(modeConfigName(ModeConfig::AllStrict), "All-Strict");
+    EXPECT_STREQ(modeConfigName(ModeConfig::Hybrid1), "Hybrid-1");
+    EXPECT_STREQ(modeConfigName(ModeConfig::Hybrid2), "Hybrid-2");
+    EXPECT_STREQ(modeConfigName(ModeConfig::AllStrictAutoDown),
+                 "All-Strict+AutoDown");
+    EXPECT_STREQ(modeConfigName(ModeConfig::EqualPart), "EqualPart");
+    EXPECT_STREQ(mixTypeName(MixType::Mix1), "Mix-1");
+    EXPECT_STREQ(mixTypeName(MixType::Mix2), "Mix-2");
+}
+
+TEST(WorkloadSpec, InterArrivalFractionDefault)
+{
+    const auto spec = makeSingleBenchmarkWorkload(
+        ModeConfig::AllStrict, "bzip2", 10, 1'000'000, 1);
+    // 4 cores x 128 CMPs arrivals per wall-clock time.
+    EXPECT_DOUBLE_EQ(spec.interArrivalFraction, 1.0 / 512.0);
+}
+
+} // namespace
+} // namespace cmpqos

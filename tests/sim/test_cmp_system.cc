@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the CMP node: run queues, advancement, and the
+ * memory-hierarchy wiring of execution chunks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cmp_system.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+CmpConfig
+fastConfig()
+{
+    CmpConfig c;
+    c.chunkInstructions = 10'000;
+    return c;
+}
+
+std::unique_ptr<JobExecution>
+makeJob(JobId id, const char *bench, InstCount n)
+{
+    return std::make_unique<JobExecution>(
+        id, BenchmarkRegistry::get(bench), n, 100 + id);
+}
+
+TEST(CmpSystem, Construction)
+{
+    CmpSystem sys(fastConfig());
+    EXPECT_EQ(sys.numCores(), 4);
+    EXPECT_EQ(sys.totalQueued(), 0u);
+    EXPECT_EQ(sys.findIdleCore(), 0);
+}
+
+TEST(CmpSystem, QueueManagement)
+{
+    CmpSystem sys(fastConfig());
+    auto j0 = makeJob(0, "gobmk", 100'000);
+    auto j1 = makeJob(1, "gobmk", 100'000);
+    sys.enqueueJob(1, j0.get());
+    sys.enqueueJob(1, j1.get());
+    EXPECT_EQ(sys.queueLength(1), 2u);
+    EXPECT_EQ(sys.runningJob(1), j0.get());
+    EXPECT_EQ(sys.coreOf(j1.get()), 1);
+    sys.rotate(1);
+    EXPECT_EQ(sys.runningJob(1), j1.get());
+    sys.dequeueJob(j0.get());
+    EXPECT_EQ(sys.queueLength(1), 1u);
+    EXPECT_EQ(sys.coreOf(j0.get()), invalidCore);
+}
+
+TEST(CmpSystem, MoveJobBetweenCores)
+{
+    CmpSystem sys(fastConfig());
+    auto j = makeJob(0, "gobmk", 100'000);
+    sys.enqueueJob(0, j.get());
+    sys.moveJob(j.get(), 3);
+    EXPECT_EQ(sys.coreOf(j.get()), 3);
+    EXPECT_EQ(sys.queueLength(0), 0u);
+}
+
+TEST(CmpSystem, AdvanceIdleCoreIsNoop)
+{
+    CmpSystem sys(fastConfig());
+    const auto r = sys.advance(2, 10'000);
+    EXPECT_EQ(r.instructions, 0u);
+    EXPECT_DOUBLE_EQ(r.cycles, 0.0);
+    EXPECT_EQ(r.completed, nullptr);
+}
+
+TEST(CmpSystem, AdvanceExecutesAndCharges)
+{
+    CmpSystem sys(fastConfig());
+    sys.l2().setTargetWays(0, 7);
+    sys.l2().setCoreClass(0, CoreClass::Reserved);
+    auto j = makeJob(0, "bzip2", 100'000);
+    sys.enqueueJob(0, j.get());
+    const auto r = sys.advance(0, 10'000);
+    EXPECT_EQ(r.instructions, 10'000u);
+    EXPECT_GT(r.cycles, 10'000.0 * 0.5); // at least compute CPI
+    EXPECT_GT(j->l2Accesses, 0u);
+    EXPECT_GT(sys.core(0).localTime(), 0.0);
+    EXPECT_TRUE(j->started());
+}
+
+TEST(CmpSystem, AdvanceCompletesJobExactly)
+{
+    CmpSystem sys(fastConfig());
+    auto j = makeJob(0, "gobmk", 15'000);
+    sys.enqueueJob(0, j.get());
+    auto r1 = sys.advance(0, 10'000);
+    EXPECT_EQ(r1.completed, nullptr);
+    auto r2 = sys.advance(0, 10'000);
+    EXPECT_EQ(r2.instructions, 5'000u); // stops at job length
+    EXPECT_EQ(r2.completed, j.get());
+    EXPECT_TRUE(j->complete());
+    EXPECT_EQ(sys.queueLength(0), 0u);
+    EXPECT_GE(j->endCycle, j->startCycle);
+}
+
+TEST(CmpSystem, CpiMatchesAdditiveModel)
+{
+    CmpSystem sys(fastConfig());
+    sys.l2().setTargetWays(0, 7);
+    sys.l2().setCoreClass(0, CoreClass::Reserved);
+    auto j = makeJob(0, "bzip2", 2'000'000);
+    sys.enqueueJob(0, j.get());
+    while (!j->complete())
+        sys.advance(0, 100'000);
+    const auto &prof = BenchmarkRegistry::get("bzip2");
+    const double expected =
+        prof.cpiL1Inf + prof.h2 * 10.0 + j->missRate() * prof.h2 * 300.0;
+    EXPECT_NEAR(j->cpi(), expected, expected * 0.02);
+}
+
+TEST(CmpSystem, MemoryTrafficRecorded)
+{
+    CmpSystem sys(fastConfig());
+    auto j = makeJob(0, "mcf", 500'000);
+    sys.enqueueJob(0, j.get());
+    while (!j->complete())
+        sys.advance(0, 100'000);
+    EXPECT_GT(sys.memory().totalBytes(), 0u);
+    EXPECT_GT(sys.memory().utilization(), 0.0);
+}
+
+TEST(CmpSystem, LeastLoadedCore)
+{
+    CmpSystem sys(fastConfig());
+    auto j0 = makeJob(0, "gobmk", 1000);
+    auto j1 = makeJob(1, "gobmk", 1000);
+    sys.enqueueJob(0, j0.get());
+    sys.enqueueJob(0, j1.get());
+    EXPECT_EQ(sys.leastLoadedCore(), 1);
+}
+
+TEST(CmpSystemDeathTest, DoubleEnqueuePanics)
+{
+    CmpSystem sys(fastConfig());
+    auto j = makeJob(0, "gobmk", 1000);
+    sys.enqueueJob(0, j.get());
+    EXPECT_DEATH(sys.enqueueJob(1, j.get()), "already queued");
+}
+
+TEST(CmpSystem, FullTraceModeUsesL1)
+{
+    CmpConfig cfg = fastConfig();
+    cfg.traceMode = TraceMode::Full;
+    CmpSystem sys(cfg);
+    auto j = std::make_unique<JobExecution>(
+        0, BenchmarkRegistry::get("bzip2"), 500'000, 3, TraceMode::Full);
+    sys.enqueueJob(0, j.get());
+    while (!j->complete())
+        sys.advance(0, 100'000);
+    ASSERT_NE(sys.core(0).l1(), nullptr);
+    EXPECT_GT(sys.core(0).l1()->accesses(), 0u);
+    // L1 filters most references: L2 accesses well below emitted.
+    EXPECT_LT(j->l2Accesses, sys.core(0).l1()->accesses() / 2);
+}
+
+} // namespace
+} // namespace cmpqos

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+TEST(EventQueue, EmptyState)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextTime(), maxCycle);
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoTieBreak)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(1); });
+    q.schedule(5, [&] { order.push_back(2); });
+    q.schedule(5, [&] { order.push_back(3); });
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RunNextReturnsTime)
+{
+    EventQueue q;
+    q.schedule(42, [] {});
+    EXPECT_EQ(q.nextTime(), 42u);
+    EXPECT_EQ(q.runNext(), 42u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            q.schedule(static_cast<Cycle>(fired * 10), chain);
+    };
+    q.schedule(0, chain);
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(fired, 5);
+}
+
+TEST(EventQueue, Labels)
+{
+    EventQueue q;
+    q.schedule(7, [] {}, "hello");
+    EXPECT_EQ(q.nextLabel(), "hello");
+}
+
+TEST(EventQueue, ClearDropsAll)
+{
+    EventQueue q;
+    q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    q.clear();
+    EXPECT_TRUE(q.empty());
+}
+
+} // namespace
+} // namespace cmpqos

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Tests for the end-of-run system report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/report.hh"
+#include "sim/simulation.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+TEST(SystemReport, ContainsCoreCacheAndMemorySections)
+{
+    CmpConfig cfg;
+    cfg.chunkInstructions = 20'000;
+    CmpSystem sys(cfg);
+    Simulation sim(sys);
+    sys.l2().setTargetWays(0, 7);
+    sys.l2().setCoreClass(0, CoreClass::Reserved);
+    JobExecution job(0, BenchmarkRegistry::get("bzip2"), 500'000, 3);
+    sim.startJobOn(0, &job);
+    sim.run();
+
+    std::ostringstream os;
+    printSystemReport(sys, os);
+    const std::string out = os.str();
+
+    EXPECT_NE(out.find("== cores =="), std::string::npos);
+    EXPECT_NE(out.find("== shared L2 =="), std::string::npos);
+    EXPECT_NE(out.find("== memory =="), std::string::npos);
+    EXPECT_NE(out.find("Reserved"), std::string::npos);
+    // The executed instruction count shows up.
+    EXPECT_NE(out.find("500000"), std::string::npos);
+}
+
+TEST(SystemReport, IdleSystemReportsZeros)
+{
+    CmpSystem sys;
+    std::ostringstream os;
+    printSystemReport(sys, os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("Inactive"), std::string::npos);
+    EXPECT_NE(out.find("0.0MB"), std::string::npos);
+}
+
+} // namespace
+} // namespace cmpqos

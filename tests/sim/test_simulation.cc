@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Unit tests for the co-simulation driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+CmpConfig
+fastConfig()
+{
+    CmpConfig c;
+    c.chunkInstructions = 10'000;
+    c.timeslice = 200'000;
+    return c;
+}
+
+std::unique_ptr<JobExecution>
+makeJob(JobId id, const char *bench, InstCount n)
+{
+    return std::make_unique<JobExecution>(
+        id, BenchmarkRegistry::get(bench), n, 200 + id);
+}
+
+TEST(Simulation, PureEventRun)
+{
+    CmpSystem sys(fastConfig());
+    Simulation sim(sys);
+    std::vector<int> order;
+    sim.schedule(100, [&] { order.push_back(1); });
+    sim.schedule(50, [&] { order.push_back(0); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_EQ(sim.now(), 100u);
+    EXPECT_EQ(sim.eventsProcessed(), 2u);
+}
+
+TEST(Simulation, JobRunsToCompletion)
+{
+    CmpSystem sys(fastConfig());
+    Simulation sim(sys);
+    auto j = makeJob(0, "gobmk", 200'000);
+    JobExecution *done = nullptr;
+    sim.setCompletionHandler([&](JobExecution *e) { done = e; });
+    sim.startJobOn(0, j.get());
+    sim.run();
+    EXPECT_EQ(done, j.get());
+    EXPECT_TRUE(j->complete());
+    EXPECT_GT(sim.chunksExecuted(), 0u);
+}
+
+TEST(Simulation, LaggardInterleaving)
+{
+    // Two cores advance in lockstep: their local times should stay
+    // within one chunk of each other while both run.
+    CmpSystem sys(fastConfig());
+    Simulation sim(sys);
+    auto j0 = makeJob(0, "gobmk", 500'000);
+    auto j1 = makeJob(1, "gobmk", 500'000);
+    sim.startJobOn(0, j0.get());
+    sim.startJobOn(1, j1.get());
+
+    double max_skew = 0.0;
+    sim.setQuantumHook([&](CoreId, JobExecution *) {
+        if (!j0->complete() && !j1->complete()) {
+            max_skew = std::max(
+                max_skew, std::abs(sys.core(0).localTime() -
+                                   sys.core(1).localTime()));
+        }
+    });
+    sim.run();
+    // One 10K-instruction chunk of gobmk is < ~50K cycles.
+    EXPECT_LT(max_skew, 60'000.0);
+}
+
+TEST(Simulation, EventDuringExecutionFiresOnTime)
+{
+    CmpSystem sys(fastConfig());
+    Simulation sim(sys);
+    auto j = makeJob(0, "gobmk", 2'000'000);
+    sim.startJobOn(0, j.get());
+    Cycle fired_at = 0;
+    double core_t = 0.0;
+    sim.schedule(500'000, [&] {
+        fired_at = sim.now();
+        core_t = sys.core(0).localTime();
+    });
+    sim.run();
+    EXPECT_GE(fired_at, 500'000u);
+    // Bounded skew: event fires within ~one chunk of its time.
+    EXPECT_LT(core_t, 500'000.0 + 120'000.0);
+}
+
+TEST(Simulation, StartJobSyncsIdleCoreClock)
+{
+    CmpSystem sys(fastConfig());
+    Simulation sim(sys);
+    auto j = makeJob(0, "gobmk", 50'000);
+    sim.schedule(1'000'000, [&] { sim.startJobOn(2, j.get()); });
+    sim.run();
+    EXPECT_GE(j->startCycle, 1'000'000.0);
+    EXPECT_GE(sys.core(2).ledger().idleCycles, 1'000'000.0);
+}
+
+TEST(Simulation, TimesliceRotatesSharedCore)
+{
+    CmpSystem sys(fastConfig());
+    Simulation sim(sys);
+    auto j0 = makeJob(0, "gobmk", 1'000'000);
+    auto j1 = makeJob(1, "gobmk", 1'000'000);
+    sim.startJobOn(0, j0.get());
+    sim.startJobOn(0, j1.get());
+    // Watch for both jobs making progress before either finishes.
+    bool both_progressed = false;
+    sim.setQuantumHook([&](CoreId, JobExecution *) {
+        if (j0->executed() > 0 && j1->executed() > 0 &&
+            !j0->complete() && !j1->complete())
+            both_progressed = true;
+    });
+    sim.run();
+    EXPECT_TRUE(both_progressed);
+    EXPECT_TRUE(j0->complete());
+    EXPECT_TRUE(j1->complete());
+}
+
+TEST(Simulation, RequestStopHalts)
+{
+    CmpSystem sys(fastConfig());
+    Simulation sim(sys);
+    auto j = makeJob(0, "gobmk", 10'000'000);
+    sim.startJobOn(0, j.get());
+    sim.schedule(100'000, [&] { sim.requestStop(); });
+    sim.run();
+    EXPECT_FALSE(j->complete());
+    EXPECT_TRUE(sim.stopped());
+}
+
+TEST(Simulation, RunUntilBound)
+{
+    CmpSystem sys(fastConfig());
+    Simulation sim(sys);
+    auto j = makeJob(0, "gobmk", 50'000'000);
+    sim.startJobOn(0, j.get());
+    sim.run(2'000'000);
+    EXPECT_FALSE(j->complete());
+    EXPECT_GE(sim.now(), 2'000'000u);
+    EXPECT_LT(sim.now(), 3'000'000u);
+}
+
+} // namespace
+} // namespace cmpqos

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit tests for the running sample distribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/distribution.hh"
+
+namespace cmpqos::stats
+{
+namespace
+{
+
+TEST(Distribution, EmptyBehaviour)
+{
+    Distribution d("x");
+    EXPECT_TRUE(d.empty());
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Distribution, BasicMoments)
+{
+    Distribution d;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.sample(v);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    EXPECT_NEAR(d.stddev(), 2.138, 0.001); // sample stddev
+    EXPECT_DOUBLE_EQ(d.sum(), 40.0);
+}
+
+TEST(Distribution, SingleSample)
+{
+    Distribution d;
+    d.sample(3.5);
+    EXPECT_DOUBLE_EQ(d.min(), 3.5);
+    EXPECT_DOUBLE_EQ(d.max(), 3.5);
+    EXPECT_DOUBLE_EQ(d.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Distribution, Percentiles)
+{
+    Distribution d;
+    for (int i = 1; i <= 100; ++i)
+        d.sample(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(d.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(d.percentile(95), 95.0);
+}
+
+TEST(Distribution, NegativeValues)
+{
+    Distribution d;
+    d.sample(-5.0);
+    d.sample(5.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), -5.0);
+}
+
+TEST(Distribution, ResetClears)
+{
+    Distribution d;
+    d.sample(1.0);
+    d.reset();
+    EXPECT_TRUE(d.empty());
+    d.sample(7.0);
+    EXPECT_DOUBLE_EQ(d.min(), 7.0);
+}
+
+TEST(DistributionDeathTest, MinOnEmptyPanics)
+{
+    Distribution d;
+    EXPECT_DEATH((void)d.min(), "empty");
+}
+
+} // namespace
+} // namespace cmpqos::stats

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Unit tests for the bucket histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hh"
+
+namespace cmpqos::stats
+{
+namespace
+{
+
+TEST(Histogram, BucketPlacement)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(0.5);
+    h.sample(9.5);
+    h.sample(5.0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+    EXPECT_EQ(h.bucketCount(5), 1u);
+    EXPECT_EQ(h.totalSamples(), 3u);
+}
+
+TEST(Histogram, ClampingAndOverflowCounters)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.sample(-1.0);
+    h.sample(42.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.sample(1.5, 10);
+    EXPECT_EQ(h.bucketCount(1), 10u);
+    EXPECT_EQ(h.totalSamples(), 10u);
+}
+
+TEST(Histogram, BucketEdges)
+{
+    Histogram h(0.0, 4.0, 4);
+    EXPECT_DOUBLE_EQ(h.bucketLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bucketLo(3), 3.0);
+}
+
+TEST(Histogram, MeanOfSamples)
+{
+    Histogram h(0.0, 100.0, 10);
+    h.sample(10.0);
+    h.sample(30.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, Reset)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.sample(0.2);
+    h.reset();
+    EXPECT_EQ(h.totalSamples(), 0u);
+    EXPECT_EQ(h.bucketCount(0), 0u);
+}
+
+} // namespace
+} // namespace cmpqos::stats

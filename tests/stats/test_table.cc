@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the table printer used by benchmark harnesses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/counter.hh"
+#include "stats/table.hh"
+
+namespace cmpqos::stats
+{
+namespace
+{
+
+TEST(TablePrinter, AlignedOutput)
+{
+    TablePrinter t("demo");
+    t.header({"name", "value"});
+    t.row({"alpha", "1"});
+    t.row({"b", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    // Columns aligned: "value" and "22" start at the same offset.
+    const auto pos_header = out.find("value");
+    const auto line_b = out.find("b ");
+    ASSERT_NE(line_b, std::string::npos);
+    const auto pos_22 = out.find("22", line_b);
+    const auto line_start_header = out.rfind('\n', pos_header);
+    const auto line_start_b = out.rfind('\n', pos_22);
+    EXPECT_EQ(pos_header - line_start_header, pos_22 - line_start_b);
+}
+
+TEST(TablePrinter, CsvOutput)
+{
+    TablePrinter t;
+    t.header({"a", "b"});
+    t.row({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinter, Formatters)
+{
+    EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::fmtPercent(12.345, 1), "12.3%");
+    EXPECT_EQ(TablePrinter::fmtInt(-7), "-7");
+}
+
+TEST(TablePrinter, RowCount)
+{
+    TablePrinter t;
+    EXPECT_EQ(t.rows(), 0u);
+    t.row({"x"});
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(AsciiBar, ScalesToWidth)
+{
+    const std::string full = asciiBar("x", 10.0, 10.0, 10);
+    const std::string half = asciiBar("x", 5.0, 10.0, 10);
+    EXPECT_NE(full.find("##########"), std::string::npos);
+    EXPECT_NE(half.find("#####"), std::string::npos);
+    EXPECT_EQ(half.find("######"), std::string::npos);
+}
+
+TEST(AsciiBar, ZeroMaxIsEmptyBar)
+{
+    const std::string bar = asciiBar("x", 1.0, 0.0, 10);
+    EXPECT_EQ(bar.find('#'), std::string::npos);
+}
+
+TEST(Counter, BasicOps)
+{
+    Counter c("events");
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 4;
+    c.inc();
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(c.name(), "events");
+}
+
+TEST(Counter, RatioHelpers)
+{
+    EXPECT_DOUBLE_EQ(ratio(1, 4), 0.25);
+    EXPECT_DOUBLE_EQ(ratio(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(percentChange(100.0, 147.0), 47.0);
+    EXPECT_DOUBLE_EQ(percentChange(0.0, 5.0), 0.0);
+}
+
+} // namespace
+} // namespace cmpqos::stats

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for stack-distance profiles and their analytic
+ * miss-rate curves.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "workload/profile.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+using PC = ProfileComponent;
+
+TEST(ProfileComponent, ColdAlwaysMisses)
+{
+    const PC c = PC::cold(1.0);
+    EXPECT_DOUBLE_EQ(c.missProbability(0), 1.0);
+    EXPECT_DOUBLE_EQ(c.missProbability(1'000'000), 1.0);
+}
+
+TEST(ProfileComponent, UniformMissProbability)
+{
+    const PC c = PC::uniform(1.0, 100, 199);
+    EXPECT_DOUBLE_EQ(c.missProbability(99), 1.0);
+    EXPECT_DOUBLE_EQ(c.missProbability(199), 0.0);
+    EXPECT_DOUBLE_EQ(c.missProbability(1000), 0.0);
+    // Capacity 149: distances 150..199 miss = 50/100.
+    EXPECT_NEAR(c.missProbability(149), 0.5, 1e-9);
+}
+
+TEST(ProfileComponent, GeometricMissProbabilityDecays)
+{
+    const PC c = PC::geometric(1.0, 100.0);
+    const double m1 = c.missProbability(10);
+    const double m2 = c.missProbability(100);
+    const double m3 = c.missProbability(1000);
+    EXPECT_GT(m1, m2);
+    EXPECT_GT(m2, m3);
+    EXPECT_LT(m3, 0.01);
+}
+
+TEST(StackDistanceProfile, ExpectedMissRateMixture)
+{
+    StackDistanceProfile p({PC::uniform(0.5, 1, 100), PC::cold(0.5)});
+    // Above 100 blocks, only the cold half misses.
+    EXPECT_NEAR(p.expectedMissRate(100), 0.5, 1e-9);
+    EXPECT_NEAR(p.expectedMissRate(10000), 0.5, 1e-9);
+    // With zero capacity everything misses.
+    EXPECT_NEAR(p.expectedMissRate(0), 1.0, 1e-9);
+}
+
+TEST(StackDistanceProfile, MissRateMonotoneInCapacity)
+{
+    StackDistanceProfile p({PC::uniform(0.4, 1, 5000),
+                            PC::geometric(0.3, 800.0), PC::cold(0.3)});
+    double prev = 1.1;
+    for (std::uint64_t cap = 0; cap <= 8000; cap += 250) {
+        const double m = p.expectedMissRate(cap);
+        EXPECT_LE(m, prev + 1e-12) << "capacity " << cap;
+        prev = m;
+    }
+}
+
+TEST(StackDistanceProfile, SampleMatchesComponents)
+{
+    StackDistanceProfile p({PC::uniform(0.7, 10, 20), PC::cold(0.3)});
+    Rng rng(77);
+    int cold = 0, finite = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const auto d = p.sample(rng);
+        if (!d) {
+            ++cold;
+        } else {
+            ++finite;
+            EXPECT_GE(*d, 10u);
+            EXPECT_LE(*d, 20u);
+        }
+    }
+    EXPECT_NEAR(cold / 10000.0, 0.3, 0.02);
+}
+
+TEST(StackDistanceProfile, SampledDistancesRealizeMissRate)
+{
+    // Empirical check: fraction of sampled distances above capacity
+    // approaches the analytic expectedMissRate.
+    StackDistanceProfile p({PC::uniform(0.5, 1, 1000),
+                            PC::uniform(0.3, 2000, 6000), PC::cold(0.2)});
+    Rng rng(123);
+    const std::uint64_t capacity = 4000;
+    int miss = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const auto d = p.sample(rng);
+        if (!d || *d > capacity)
+            ++miss;
+    }
+    EXPECT_NEAR(miss / static_cast<double>(n),
+                p.expectedMissRate(capacity), 0.01);
+}
+
+TEST(StackDistanceProfile, MaxFiniteDistance)
+{
+    StackDistanceProfile p({PC::uniform(0.5, 1, 123), PC::cold(0.5)});
+    EXPECT_EQ(p.maxFiniteDistance(), 123u);
+}
+
+} // namespace
+} // namespace cmpqos

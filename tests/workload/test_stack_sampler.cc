@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the order-statistics LRU stack sampler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <list>
+
+#include "common/random.hh"
+#include "workload/stack_sampler.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+TEST(LruStackSampler, ColdAccessesCreateNewBlocks)
+{
+    LruStackSampler s;
+    EXPECT_EQ(s.accessNew(), 0u);
+    EXPECT_EQ(s.accessNew(), 1u);
+    EXPECT_EQ(s.accessNew(), 2u);
+    EXPECT_EQ(s.liveBlocks(), 3u);
+}
+
+TEST(LruStackSampler, DistanceOneIsMru)
+{
+    LruStackSampler s;
+    s.accessNew(); // 0
+    s.accessNew(); // 1
+    s.accessNew(); // 2, MRU
+    EXPECT_EQ(s.accessAtDistance(1), 2u);
+    EXPECT_EQ(s.accessAtDistance(1), 2u);
+}
+
+TEST(LruStackSampler, DistanceMovesBlockToTop)
+{
+    LruStackSampler s;
+    s.accessNew(); // 0
+    s.accessNew(); // 1
+    s.accessNew(); // 2
+    // Stack (MRU->LRU): 2 1 0. Touch distance 3 -> block 0.
+    EXPECT_EQ(s.accessAtDistance(3), 0u);
+    // Now: 0 2 1.
+    EXPECT_EQ(s.peekAtDistance(1), 0u);
+    EXPECT_EQ(s.peekAtDistance(2), 2u);
+    EXPECT_EQ(s.peekAtDistance(3), 1u);
+}
+
+TEST(LruStackSampler, DistanceBeyondLiveIsCold)
+{
+    LruStackSampler s;
+    s.accessNew();
+    const std::uint64_t blk = s.accessAtDistance(10);
+    EXPECT_EQ(blk, 1u); // a fresh block
+    EXPECT_EQ(s.liveBlocks(), 2u);
+}
+
+TEST(LruStackSampler, MatchesNaiveLruStack)
+{
+    // Property check: replay a random distance stream against a naive
+    // list-based LRU stack and compare touched block ids.
+    LruStackSampler s;
+    std::list<std::uint64_t> naive; // front = MRU
+    std::uint64_t next_id = 0;
+    Rng rng(321);
+    for (int i = 0; i < 4000; ++i) {
+        const std::uint64_t d = 1 + rng.uniformInt(60);
+        std::uint64_t expect;
+        if (d > naive.size()) {
+            expect = next_id++;
+            naive.push_front(expect);
+        } else {
+            auto it = naive.begin();
+            std::advance(it, static_cast<long>(d - 1));
+            expect = *it;
+            naive.erase(it);
+            naive.push_front(expect);
+        }
+        ASSERT_EQ(s.accessAtDistance(d), expect) << "iteration " << i;
+    }
+    EXPECT_EQ(s.liveBlocks(), naive.size());
+}
+
+TEST(LruStackSampler, CompactionPreservesOrder)
+{
+    // Force many accesses so slot positions are exhausted and the
+    // sampler compacts; order must survive.
+    LruStackSampler s(64); // slot capacity = 256
+    for (int i = 0; i < 64; ++i)
+        s.accessNew();
+    Rng rng(5);
+    std::list<std::uint64_t> naive;
+    for (std::uint64_t b = 63;; --b) {
+        naive.push_back(63 - b); // LRU at back: 0 is LRU
+        if (b == 0)
+            break;
+    }
+    naive.reverse(); // front=MRU=63 ... back=LRU=0
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t d = 1 + rng.uniformInt(64);
+        auto it = naive.begin();
+        std::advance(it, static_cast<long>(d - 1));
+        const std::uint64_t expect = *it;
+        naive.erase(it);
+        naive.push_front(expect);
+        ASSERT_EQ(s.accessAtDistance(d), expect) << "iteration " << i;
+    }
+}
+
+TEST(LruStackSampler, LiveBlockCapDropsLru)
+{
+    LruStackSampler s(8);
+    for (int i = 0; i < 8; ++i)
+        s.accessNew();
+    EXPECT_EQ(s.liveBlocks(), 8u);
+    s.accessNew(); // block 0 (LRU) should be dropped
+    EXPECT_EQ(s.liveBlocks(), 8u);
+    // Deepest stack entry is now block 1.
+    EXPECT_EQ(s.peekAtDistance(8), 1u);
+}
+
+} // namespace
+} // namespace cmpqos
