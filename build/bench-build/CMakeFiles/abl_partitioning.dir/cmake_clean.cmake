@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_partitioning"
+  "../bench/abl_partitioning.pdb"
+  "CMakeFiles/abl_partitioning.dir/abl_partitioning.cc.o"
+  "CMakeFiles/abl_partitioning.dir/abl_partitioning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_victim_priority"
+  "../bench/abl_victim_priority.pdb"
+  "CMakeFiles/abl_victim_priority.dir/abl_victim_priority.cc.o"
+  "CMakeFiles/abl_victim_priority.dir/abl_victim_priority.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_victim_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_bandwidth"
+  "../bench/ext_bandwidth.pdb"
+  "CMakeFiles/ext_bandwidth.dir/ext_bandwidth.cc.o"
+  "CMakeFiles/ext_bandwidth.dir/ext_bandwidth.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_downgrade"
+  "../bench/fig03_downgrade.pdb"
+  "CMakeFiles/fig03_downgrade.dir/fig03_downgrade.cc.o"
+  "CMakeFiles/fig03_downgrade.dir/fig03_downgrade.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_downgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

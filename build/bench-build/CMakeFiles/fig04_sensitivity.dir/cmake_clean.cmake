@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_sensitivity"
+  "../bench/fig04_sensitivity.pdb"
+  "CMakeFiles/fig04_sensitivity.dir/fig04_sensitivity.cc.o"
+  "CMakeFiles/fig04_sensitivity.dir/fig04_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_modes"
+  "../bench/fig05_modes.pdb"
+  "CMakeFiles/fig05_modes.dir/fig05_modes.cc.o"
+  "CMakeFiles/fig05_modes.dir/fig05_modes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

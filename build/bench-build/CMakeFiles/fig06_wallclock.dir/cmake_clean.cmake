@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_wallclock"
+  "../bench/fig06_wallclock.pdb"
+  "CMakeFiles/fig06_wallclock.dir/fig06_wallclock.cc.o"
+  "CMakeFiles/fig06_wallclock.dir/fig06_wallclock.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_wallclock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_trace"
+  "../bench/fig07_trace.pdb"
+  "CMakeFiles/fig07_trace.dir/fig07_trace.cc.o"
+  "CMakeFiles/fig07_trace.dir/fig07_trace.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

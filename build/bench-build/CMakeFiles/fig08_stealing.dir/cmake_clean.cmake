@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_stealing"
+  "../bench/fig08_stealing.pdb"
+  "CMakeFiles/fig08_stealing.dir/fig08_stealing.cc.o"
+  "CMakeFiles/fig08_stealing.dir/fig08_stealing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_stealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

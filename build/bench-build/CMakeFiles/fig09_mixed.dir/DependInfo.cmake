@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig09_mixed.cc" "bench-build/CMakeFiles/fig09_mixed.dir/fig09_mixed.cc.o" "gcc" "bench-build/CMakeFiles/fig09_mixed.dir/fig09_mixed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qos/CMakeFiles/cmpqos_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cmpqos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cmpqos_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cmpqos_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/cmpqos_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cmpqos_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cmpqos_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cmpqos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_mixed"
+  "../bench/fig09_mixed.pdb"
+  "CMakeFiles/fig09_mixed.dir/fig09_mixed.cc.o"
+  "CMakeFiles/fig09_mixed.dir/fig09_mixed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec75_lac_overhead"
+  "../bench/sec75_lac_overhead.pdb"
+  "CMakeFiles/sec75_lac_overhead.dir/sec75_lac_overhead.cc.o"
+  "CMakeFiles/sec75_lac_overhead.dir/sec75_lac_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec75_lac_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab01_benchmarks"
+  "../bench/tab01_benchmarks.pdb"
+  "CMakeFiles/tab01_benchmarks.dir/tab01_benchmarks.cc.o"
+  "CMakeFiles/tab01_benchmarks.dir/tab01_benchmarks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

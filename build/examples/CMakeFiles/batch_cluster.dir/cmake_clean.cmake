@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_cluster.dir/batch_cluster.cc.o"
+  "CMakeFiles/batch_cluster.dir/batch_cluster.cc.o.d"
+  "batch_cluster"
+  "batch_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sla_tiers.dir/sla_tiers.cc.o"
+  "CMakeFiles/sla_tiers.dir/sla_tiers.cc.o.d"
+  "sla_tiers"
+  "sla_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sla_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sla_tiers.
+# This may be replaced when dependencies are built.

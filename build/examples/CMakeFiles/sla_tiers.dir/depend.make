@@ -1,0 +1,2 @@
+# Empty dependencies file for sla_tiers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtualization.dir/virtualization.cc.o"
+  "CMakeFiles/virtualization.dir/virtualization.cc.o.d"
+  "virtualization"
+  "virtualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpqos_cache.dir/cache.cc.o"
+  "CMakeFiles/cmpqos_cache.dir/cache.cc.o.d"
+  "CMakeFiles/cmpqos_cache.dir/config.cc.o"
+  "CMakeFiles/cmpqos_cache.dir/config.cc.o.d"
+  "CMakeFiles/cmpqos_cache.dir/duplicate_tags.cc.o"
+  "CMakeFiles/cmpqos_cache.dir/duplicate_tags.cc.o.d"
+  "CMakeFiles/cmpqos_cache.dir/partition.cc.o"
+  "CMakeFiles/cmpqos_cache.dir/partition.cc.o.d"
+  "CMakeFiles/cmpqos_cache.dir/partitioned_cache.cc.o"
+  "CMakeFiles/cmpqos_cache.dir/partitioned_cache.cc.o.d"
+  "libcmpqos_cache.a"
+  "libcmpqos_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpqos_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

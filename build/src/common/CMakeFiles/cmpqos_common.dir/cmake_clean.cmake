@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpqos_common.dir/logging.cc.o"
+  "CMakeFiles/cmpqos_common.dir/logging.cc.o.d"
+  "CMakeFiles/cmpqos_common.dir/random.cc.o"
+  "CMakeFiles/cmpqos_common.dir/random.cc.o.d"
+  "libcmpqos_common.a"
+  "libcmpqos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpqos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpqos_cpu.dir/core.cc.o"
+  "CMakeFiles/cmpqos_cpu.dir/core.cc.o.d"
+  "libcmpqos_cpu.a"
+  "libcmpqos_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpqos_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcmpqos_cpu.a"
+)

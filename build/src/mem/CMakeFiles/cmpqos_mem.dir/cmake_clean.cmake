@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpqos_mem.dir/bandwidth.cc.o"
+  "CMakeFiles/cmpqos_mem.dir/bandwidth.cc.o.d"
+  "CMakeFiles/cmpqos_mem.dir/memory.cc.o"
+  "CMakeFiles/cmpqos_mem.dir/memory.cc.o.d"
+  "libcmpqos_mem.a"
+  "libcmpqos_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpqos_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qos/admission.cc" "src/qos/CMakeFiles/cmpqos_qos.dir/admission.cc.o" "gcc" "src/qos/CMakeFiles/cmpqos_qos.dir/admission.cc.o.d"
+  "/root/repo/src/qos/framework.cc" "src/qos/CMakeFiles/cmpqos_qos.dir/framework.cc.o" "gcc" "src/qos/CMakeFiles/cmpqos_qos.dir/framework.cc.o.d"
+  "/root/repo/src/qos/gac.cc" "src/qos/CMakeFiles/cmpqos_qos.dir/gac.cc.o" "gcc" "src/qos/CMakeFiles/cmpqos_qos.dir/gac.cc.o.d"
+  "/root/repo/src/qos/job.cc" "src/qos/CMakeFiles/cmpqos_qos.dir/job.cc.o" "gcc" "src/qos/CMakeFiles/cmpqos_qos.dir/job.cc.o.d"
+  "/root/repo/src/qos/mode.cc" "src/qos/CMakeFiles/cmpqos_qos.dir/mode.cc.o" "gcc" "src/qos/CMakeFiles/cmpqos_qos.dir/mode.cc.o.d"
+  "/root/repo/src/qos/resource.cc" "src/qos/CMakeFiles/cmpqos_qos.dir/resource.cc.o" "gcc" "src/qos/CMakeFiles/cmpqos_qos.dir/resource.cc.o.d"
+  "/root/repo/src/qos/scheduler.cc" "src/qos/CMakeFiles/cmpqos_qos.dir/scheduler.cc.o" "gcc" "src/qos/CMakeFiles/cmpqos_qos.dir/scheduler.cc.o.d"
+  "/root/repo/src/qos/server.cc" "src/qos/CMakeFiles/cmpqos_qos.dir/server.cc.o" "gcc" "src/qos/CMakeFiles/cmpqos_qos.dir/server.cc.o.d"
+  "/root/repo/src/qos/stealing.cc" "src/qos/CMakeFiles/cmpqos_qos.dir/stealing.cc.o" "gcc" "src/qos/CMakeFiles/cmpqos_qos.dir/stealing.cc.o.d"
+  "/root/repo/src/qos/target.cc" "src/qos/CMakeFiles/cmpqos_qos.dir/target.cc.o" "gcc" "src/qos/CMakeFiles/cmpqos_qos.dir/target.cc.o.d"
+  "/root/repo/src/qos/workload_spec.cc" "src/qos/CMakeFiles/cmpqos_qos.dir/workload_spec.cc.o" "gcc" "src/qos/CMakeFiles/cmpqos_qos.dir/workload_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cmpqos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cmpqos_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/cmpqos_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cmpqos_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cmpqos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cmpqos_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cmpqos_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

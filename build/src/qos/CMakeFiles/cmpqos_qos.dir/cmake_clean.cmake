@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpqos_qos.dir/admission.cc.o"
+  "CMakeFiles/cmpqos_qos.dir/admission.cc.o.d"
+  "CMakeFiles/cmpqos_qos.dir/framework.cc.o"
+  "CMakeFiles/cmpqos_qos.dir/framework.cc.o.d"
+  "CMakeFiles/cmpqos_qos.dir/gac.cc.o"
+  "CMakeFiles/cmpqos_qos.dir/gac.cc.o.d"
+  "CMakeFiles/cmpqos_qos.dir/job.cc.o"
+  "CMakeFiles/cmpqos_qos.dir/job.cc.o.d"
+  "CMakeFiles/cmpqos_qos.dir/mode.cc.o"
+  "CMakeFiles/cmpqos_qos.dir/mode.cc.o.d"
+  "CMakeFiles/cmpqos_qos.dir/resource.cc.o"
+  "CMakeFiles/cmpqos_qos.dir/resource.cc.o.d"
+  "CMakeFiles/cmpqos_qos.dir/scheduler.cc.o"
+  "CMakeFiles/cmpqos_qos.dir/scheduler.cc.o.d"
+  "CMakeFiles/cmpqos_qos.dir/server.cc.o"
+  "CMakeFiles/cmpqos_qos.dir/server.cc.o.d"
+  "CMakeFiles/cmpqos_qos.dir/stealing.cc.o"
+  "CMakeFiles/cmpqos_qos.dir/stealing.cc.o.d"
+  "CMakeFiles/cmpqos_qos.dir/target.cc.o"
+  "CMakeFiles/cmpqos_qos.dir/target.cc.o.d"
+  "CMakeFiles/cmpqos_qos.dir/workload_spec.cc.o"
+  "CMakeFiles/cmpqos_qos.dir/workload_spec.cc.o.d"
+  "libcmpqos_qos.a"
+  "libcmpqos_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpqos_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpqos_sim.dir/cmp_system.cc.o"
+  "CMakeFiles/cmpqos_sim.dir/cmp_system.cc.o.d"
+  "CMakeFiles/cmpqos_sim.dir/job_exec.cc.o"
+  "CMakeFiles/cmpqos_sim.dir/job_exec.cc.o.d"
+  "CMakeFiles/cmpqos_sim.dir/report.cc.o"
+  "CMakeFiles/cmpqos_sim.dir/report.cc.o.d"
+  "CMakeFiles/cmpqos_sim.dir/simulation.cc.o"
+  "CMakeFiles/cmpqos_sim.dir/simulation.cc.o.d"
+  "libcmpqos_sim.a"
+  "libcmpqos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpqos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpqos_stats.dir/distribution.cc.o"
+  "CMakeFiles/cmpqos_stats.dir/distribution.cc.o.d"
+  "CMakeFiles/cmpqos_stats.dir/histogram.cc.o"
+  "CMakeFiles/cmpqos_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/cmpqos_stats.dir/table.cc.o"
+  "CMakeFiles/cmpqos_stats.dir/table.cc.o.d"
+  "libcmpqos_stats.a"
+  "libcmpqos_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpqos_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/benchmark.cc" "src/workload/CMakeFiles/cmpqos_workload.dir/benchmark.cc.o" "gcc" "src/workload/CMakeFiles/cmpqos_workload.dir/benchmark.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/cmpqos_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/cmpqos_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/workload/CMakeFiles/cmpqos_workload.dir/profile.cc.o" "gcc" "src/workload/CMakeFiles/cmpqos_workload.dir/profile.cc.o.d"
+  "/root/repo/src/workload/stack_sampler.cc" "src/workload/CMakeFiles/cmpqos_workload.dir/stack_sampler.cc.o" "gcc" "src/workload/CMakeFiles/cmpqos_workload.dir/stack_sampler.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/cmpqos_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/cmpqos_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cmpqos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cmpqos_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

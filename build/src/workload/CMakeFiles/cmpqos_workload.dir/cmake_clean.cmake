@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmpqos_workload.dir/benchmark.cc.o"
+  "CMakeFiles/cmpqos_workload.dir/benchmark.cc.o.d"
+  "CMakeFiles/cmpqos_workload.dir/generator.cc.o"
+  "CMakeFiles/cmpqos_workload.dir/generator.cc.o.d"
+  "CMakeFiles/cmpqos_workload.dir/profile.cc.o"
+  "CMakeFiles/cmpqos_workload.dir/profile.cc.o.d"
+  "CMakeFiles/cmpqos_workload.dir/stack_sampler.cc.o"
+  "CMakeFiles/cmpqos_workload.dir/stack_sampler.cc.o.d"
+  "CMakeFiles/cmpqos_workload.dir/trace.cc.o"
+  "CMakeFiles/cmpqos_workload.dir/trace.cc.o.d"
+  "libcmpqos_workload.a"
+  "libcmpqos_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmpqos_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

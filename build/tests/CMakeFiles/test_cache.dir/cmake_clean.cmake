@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache.dir/cache/test_cache.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_cache.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_duplicate_tags.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_duplicate_tags.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_partition.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_partition.cc.o.d"
+  "CMakeFiles/test_cache.dir/cache/test_partitioned_cache.cc.o"
+  "CMakeFiles/test_cache.dir/cache/test_partitioned_cache.cc.o.d"
+  "test_cache"
+  "test_cache.pdb"
+  "test_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

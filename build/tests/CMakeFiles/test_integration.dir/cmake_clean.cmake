@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_bandwidth_qos.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_bandwidth_qos.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_cancellation.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_cancellation.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_downgrade.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_downgrade.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_equalpart.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_equalpart.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_framework.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_framework.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_fuzz.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_fuzz.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_properties.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_properties.cc.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_workload_runs.cc.o"
+  "CMakeFiles/test_integration.dir/integration/test_workload_runs.cc.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

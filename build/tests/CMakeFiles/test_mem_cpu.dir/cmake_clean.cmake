@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_cpu.dir/cpu/test_core.cc.o"
+  "CMakeFiles/test_mem_cpu.dir/cpu/test_core.cc.o.d"
+  "CMakeFiles/test_mem_cpu.dir/cpu/test_cpi_model.cc.o"
+  "CMakeFiles/test_mem_cpu.dir/cpu/test_cpi_model.cc.o.d"
+  "CMakeFiles/test_mem_cpu.dir/mem/test_bandwidth.cc.o"
+  "CMakeFiles/test_mem_cpu.dir/mem/test_bandwidth.cc.o.d"
+  "CMakeFiles/test_mem_cpu.dir/mem/test_memory.cc.o"
+  "CMakeFiles/test_mem_cpu.dir/mem/test_memory.cc.o.d"
+  "test_mem_cpu"
+  "test_mem_cpu.pdb"
+  "test_mem_cpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/qos/test_admission.cc" "tests/CMakeFiles/test_qos.dir/qos/test_admission.cc.o" "gcc" "tests/CMakeFiles/test_qos.dir/qos/test_admission.cc.o.d"
+  "/root/repo/tests/qos/test_gac.cc" "tests/CMakeFiles/test_qos.dir/qos/test_gac.cc.o" "gcc" "tests/CMakeFiles/test_qos.dir/qos/test_gac.cc.o.d"
+  "/root/repo/tests/qos/test_job.cc" "tests/CMakeFiles/test_qos.dir/qos/test_job.cc.o" "gcc" "tests/CMakeFiles/test_qos.dir/qos/test_job.cc.o.d"
+  "/root/repo/tests/qos/test_mode.cc" "tests/CMakeFiles/test_qos.dir/qos/test_mode.cc.o" "gcc" "tests/CMakeFiles/test_qos.dir/qos/test_mode.cc.o.d"
+  "/root/repo/tests/qos/test_resource.cc" "tests/CMakeFiles/test_qos.dir/qos/test_resource.cc.o" "gcc" "tests/CMakeFiles/test_qos.dir/qos/test_resource.cc.o.d"
+  "/root/repo/tests/qos/test_scheduler.cc" "tests/CMakeFiles/test_qos.dir/qos/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/test_qos.dir/qos/test_scheduler.cc.o.d"
+  "/root/repo/tests/qos/test_server.cc" "tests/CMakeFiles/test_qos.dir/qos/test_server.cc.o" "gcc" "tests/CMakeFiles/test_qos.dir/qos/test_server.cc.o.d"
+  "/root/repo/tests/qos/test_stealing.cc" "tests/CMakeFiles/test_qos.dir/qos/test_stealing.cc.o" "gcc" "tests/CMakeFiles/test_qos.dir/qos/test_stealing.cc.o.d"
+  "/root/repo/tests/qos/test_target.cc" "tests/CMakeFiles/test_qos.dir/qos/test_target.cc.o" "gcc" "tests/CMakeFiles/test_qos.dir/qos/test_target.cc.o.d"
+  "/root/repo/tests/qos/test_workload_spec.cc" "tests/CMakeFiles/test_qos.dir/qos/test_workload_spec.cc.o" "gcc" "tests/CMakeFiles/test_qos.dir/qos/test_workload_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qos/CMakeFiles/cmpqos_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cmpqos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cmpqos_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cmpqos_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/cmpqos_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cmpqos_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cmpqos_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cmpqos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qos.dir/qos/test_admission.cc.o"
+  "CMakeFiles/test_qos.dir/qos/test_admission.cc.o.d"
+  "CMakeFiles/test_qos.dir/qos/test_gac.cc.o"
+  "CMakeFiles/test_qos.dir/qos/test_gac.cc.o.d"
+  "CMakeFiles/test_qos.dir/qos/test_job.cc.o"
+  "CMakeFiles/test_qos.dir/qos/test_job.cc.o.d"
+  "CMakeFiles/test_qos.dir/qos/test_mode.cc.o"
+  "CMakeFiles/test_qos.dir/qos/test_mode.cc.o.d"
+  "CMakeFiles/test_qos.dir/qos/test_resource.cc.o"
+  "CMakeFiles/test_qos.dir/qos/test_resource.cc.o.d"
+  "CMakeFiles/test_qos.dir/qos/test_scheduler.cc.o"
+  "CMakeFiles/test_qos.dir/qos/test_scheduler.cc.o.d"
+  "CMakeFiles/test_qos.dir/qos/test_server.cc.o"
+  "CMakeFiles/test_qos.dir/qos/test_server.cc.o.d"
+  "CMakeFiles/test_qos.dir/qos/test_stealing.cc.o"
+  "CMakeFiles/test_qos.dir/qos/test_stealing.cc.o.d"
+  "CMakeFiles/test_qos.dir/qos/test_target.cc.o"
+  "CMakeFiles/test_qos.dir/qos/test_target.cc.o.d"
+  "CMakeFiles/test_qos.dir/qos/test_workload_spec.cc.o"
+  "CMakeFiles/test_qos.dir/qos/test_workload_spec.cc.o.d"
+  "test_qos"
+  "test_qos.pdb"
+  "test_qos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_cmp_system.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_cmp_system.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_event_queue.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_event_queue.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_job_exec.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_job_exec.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_report.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_report.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_simulation.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_simulation.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/test_benchmark.cc" "tests/CMakeFiles/test_workload.dir/workload/test_benchmark.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_benchmark.cc.o.d"
+  "/root/repo/tests/workload/test_calibration.cc" "tests/CMakeFiles/test_workload.dir/workload/test_calibration.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_calibration.cc.o.d"
+  "/root/repo/tests/workload/test_generator.cc" "tests/CMakeFiles/test_workload.dir/workload/test_generator.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_generator.cc.o.d"
+  "/root/repo/tests/workload/test_profile.cc" "tests/CMakeFiles/test_workload.dir/workload/test_profile.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_profile.cc.o.d"
+  "/root/repo/tests/workload/test_stack_sampler.cc" "tests/CMakeFiles/test_workload.dir/workload/test_stack_sampler.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_stack_sampler.cc.o.d"
+  "/root/repo/tests/workload/test_trace.cc" "tests/CMakeFiles/test_workload.dir/workload/test_trace.cc.o" "gcc" "tests/CMakeFiles/test_workload.dir/workload/test_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qos/CMakeFiles/cmpqos_qos.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cmpqos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cmpqos_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cmpqos_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/cmpqos_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cmpqos_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/cmpqos_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cmpqos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

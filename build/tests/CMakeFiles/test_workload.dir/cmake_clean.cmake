@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/test_benchmark.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_benchmark.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_calibration.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_calibration.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_generator.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_generator.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_profile.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_profile.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_stack_sampler.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_stack_sampler.cc.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_trace.cc.o"
+  "CMakeFiles/test_workload.dir/workload/test_trace.cc.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibration_dump.dir/calibration_dump.cc.o"
+  "CMakeFiles/calibration_dump.dir/calibration_dump.cc.o.d"
+  "calibration_dump"
+  "calibration_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibration_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/trace_tool.cc" "tools/CMakeFiles/trace_tool.dir/trace_tool.cc.o" "gcc" "tools/CMakeFiles/trace_tool.dir/trace_tool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/cmpqos_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/cmpqos_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cmpqos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
