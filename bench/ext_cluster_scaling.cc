@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Extension bench: wall-clock scaling of the parallel cluster engine.
+ *
+ * Runs the same 8-node open-loop workload (same seed, same arrival
+ * stream) at 1, 2, 4 and hardware-concurrency worker threads,
+ * reporting wall-clock time, speedup over 1 thread, and the metrics
+ * fingerprint — which must be identical at every thread count (the
+ * determinism guarantee the tests enforce). Results are recorded in
+ * EXPERIMENTS.md; speedup is bounded by the physical cores of the
+ * host, so expect ~1.0x on a single-core machine.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/engine.hh"
+
+using namespace cmpqos;
+
+namespace
+{
+
+ClusterMetrics
+runOnce(unsigned threads)
+{
+    ClusterConfig config;
+    config.nodes = 8;
+    config.threads = threads;
+    config.seed = 42;
+    config.quantum = 2'000'000;
+
+    ArrivalMix mix = ArrivalMix::defaults();
+    mix.instructions = 2'000'000;
+    PoissonArrivalProcess arrivals(250'000.0, mix,
+                                   config.seed ^ 0xa11a1ULL, 96);
+    ClusterEngine engine(config);
+    return engine.runToCompletion(arrivals);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("# ext_cluster_scaling: 8 nodes, 96 Poisson jobs, "
+                "seed 42\n");
+    std::printf("# hardware concurrency: %u\n\n",
+                ThreadPool::hardwareConcurrency());
+    std::printf("%-8s %-10s %-9s %-10s %s\n", "threads", "wall_s",
+                "speedup", "jobs/s", "deterministic");
+
+    std::vector<unsigned> counts = {1, 2, 4};
+    const unsigned hw = ThreadPool::hardwareConcurrency();
+    if (hw != 1 && hw != 2 && hw != 4)
+        counts.push_back(hw);
+
+    // Warm the solo-CPI calibration memo so the first measured run
+    // doesn't pay a one-time cost the later runs skip.
+    (void)runOnce(1);
+
+    double base_wall = 0.0;
+    std::string base_fp;
+    for (unsigned t : counts) {
+        const ClusterMetrics m = runOnce(t);
+        if (t == 1) {
+            base_wall = m.wallSeconds;
+            base_fp = m.fingerprint();
+        }
+        const bool same = m.fingerprint() == base_fp;
+        std::printf("%-8u %-10.3f %-9.2f %-10.1f %s\n", t,
+                    m.wallSeconds,
+                    m.wallSeconds > 0.0 ? base_wall / m.wallSeconds
+                                        : 0.0,
+                    m.jobsPerWallSecond(), same ? "yes" : "NO");
+        if (!same) {
+            std::printf("fingerprint mismatch at %u threads!\n%s\nvs\n"
+                        "%s\n",
+                        t, base_fp.c_str(), m.fingerprint().c_str());
+            return 1;
+        }
+    }
+    return 0;
+}

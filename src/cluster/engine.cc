@@ -1,0 +1,221 @@
+#include "engine.hh"
+
+#include <chrono>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace cmpqos
+{
+
+ClusterEngine::ClusterEngine(const ClusterConfig &config)
+    : config_(config),
+      pool_(config.threads == 0 ? ThreadPool::hardwareConcurrency()
+                                : config.threads)
+{
+    cmpqos_assert(config_.nodes > 0, "cluster needs at least one node");
+    cmpqos_assert(config_.quantum > 0, "placement quantum must be > 0");
+    // Independent, reproducible per-node RNG streams: one SplitMix
+    // expansion of the cluster seed per node (Rng seeds via
+    // SplitMix64), so results do not depend on the thread count.
+    Rng seeder(config_.seed);
+    nodes_.reserve(static_cast<std::size_t>(config_.nodes));
+    for (int n = 0; n < config_.nodes; ++n)
+        nodes_.push_back(std::make_unique<NodeWorker>(
+            n, config_.node, seeder.next()));
+}
+
+NodeWorker &
+ClusterEngine::node(NodeId n)
+{
+    cmpqos_assert(n >= 0 && n < numNodes(), "node %d out of range", n);
+    return *nodes_[static_cast<std::size_t>(n)];
+}
+
+NodeId
+ClusterEngine::choose(const JobRequest &request, InstCount instructions)
+{
+    NodeId best = -1;
+    Cycle best_slot = maxCycle;
+    std::size_t best_load = 0;
+    unsigned best_ways = 0;
+    for (auto &node : nodes_) {
+        const AdmissionDecision d = node->probe(request, instructions);
+        if (!d.accepted)
+            continue;
+        switch (config_.policy) {
+          case GacPolicy::FirstFit:
+            return node->id();
+          case GacPolicy::EarliestSlot:
+            if (best < 0 || d.slotStart < best_slot) {
+                best = node->id();
+                best_slot = d.slotStart;
+            }
+            break;
+          case GacPolicy::LeastLoaded: {
+            const std::size_t load = node->inFlight();
+            const unsigned ways =
+                node->framework()
+                    .lac()
+                    .timeline()
+                    .reservedAt(node->virtualNow())
+                    .ways;
+            if (best < 0 || load < best_load ||
+                (load == best_load && ways < best_ways)) {
+                best = node->id();
+                best_load = load;
+                best_ways = ways;
+            }
+            break;
+          }
+        }
+    }
+    return best;
+}
+
+ClusterEngine::Placement
+ClusterEngine::place(const ClusterArrival &arrival)
+{
+    ++submitted_;
+    Placement p;
+    JobRequest request = arrival.request;
+    NodeId target = choose(request, arrival.instructions);
+
+    if (target < 0 && config_.negotiate) {
+        // Global negotiation (Section 3.1): offer the smallest
+        // relaxed deadline some node would accept.
+        const double base = request.deadlineFactor;
+        for (double f = 1.0 + config_.negotiateStep;
+             f <= config_.negotiateMaxFactor + 1e-9;
+             f += config_.negotiateStep) {
+            request.deadlineFactor = base * f;
+            target = choose(request, arrival.instructions);
+            if (target >= 0) {
+                p.negotiated = true;
+                break;
+            }
+        }
+    }
+
+    if (target < 0) {
+        ++rejected_;
+        return p;
+    }
+
+    Job *job = nodes_[static_cast<std::size_t>(target)]->submit(
+        request, arrival.instructions);
+    if (job == nullptr) {
+        // Probe and submit run back-to-back at the same node time, so
+        // they must agree.
+        cmpqos_panic("probe/submit disagreement on node %d", target);
+    }
+    ++accepted_;
+    if (p.negotiated)
+        ++negotiated_;
+    ++acceptedByTier_[static_cast<std::size_t>(arrival.tier)];
+    p.accepted = true;
+    p.node = target;
+    return p;
+}
+
+void
+ClusterEngine::advanceAll(Cycle t)
+{
+    pool_.parallelFor(nodes_.size(), [this, t](std::size_t i) {
+        nodes_[i]->advanceTo(t);
+    });
+}
+
+ClusterMetrics
+ClusterEngine::run(ArrivalProcess &arrivals, Cycle horizon, bool drain)
+{
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    std::optional<ClusterArrival> pending = arrivals.next();
+    Cycle t = 0;
+    while (t < horizon) {
+        Cycle next_q = t + config_.quantum;
+        if (pending && pending->time >= next_q) {
+            // Nothing to place for a while: jump to the quantum
+            // boundary at or before the next arrival (driver-side
+            // shortcut, identical at every thread count).
+            const Cycle boundary =
+                pending->time - (pending->time % config_.quantum);
+            next_q = std::max(next_q, boundary);
+        }
+        if (next_q > horizon)
+            next_q = horizon;
+
+        while (pending && pending->time < next_q) {
+            if (pending->time >= horizon)
+                break;
+            place(*pending);
+            pending = arrivals.next();
+        }
+
+        if (!pending && !drain)
+            break;
+        if (!pending && drain) {
+            // Stream exhausted: no more placements can happen, so
+            // the remaining work has no quantum constraint.
+            break;
+        }
+        advanceAll(next_q);
+        t = next_q;
+    }
+
+    if (drain) {
+        pool_.parallelFor(nodes_.size(), [this](std::size_t i) {
+            nodes_[i]->drain();
+        });
+    } else {
+        advanceAll(horizon);
+        // Open-loop truncation: the arrival already pulled past the
+        // horizon was never offered for admission.
+        if (pending)
+            ++truncated_;
+    }
+
+    const auto wall_end = std::chrono::steady_clock::now();
+    wallSeconds_ +=
+        std::chrono::duration<double>(wall_end - wall_start).count();
+    return snapshot();
+}
+
+ClusterMetrics
+ClusterEngine::runToCompletion(ArrivalProcess &arrivals)
+{
+    return run(arrivals, maxCycle, true);
+}
+
+ClusterMetrics
+ClusterEngine::runForDuration(ArrivalProcess &arrivals, Cycle duration)
+{
+    cmpqos_assert(duration > 0, "duration must be > 0");
+    return run(arrivals, duration, false);
+}
+
+ClusterMetrics
+ClusterEngine::snapshot() const
+{
+    ClusterMetrics m;
+    m.seed = config_.seed;
+    m.threads = pool_.size();
+    m.quantum = config_.quantum;
+    m.submitted = submitted_;
+    m.accepted = accepted_;
+    m.rejected = rejected_;
+    m.negotiated = negotiated_;
+    m.truncated = truncated_;
+    m.acceptedByTier = acceptedByTier_;
+    m.wallSeconds = wallSeconds_;
+
+    std::vector<NodeMetrics> per_node;
+    per_node.reserve(nodes_.size());
+    for (const auto &node : nodes_)
+        per_node.push_back(MetricsExporter::collectNode(*node));
+    MetricsExporter::aggregate(m, per_node);
+    return m;
+}
+
+} // namespace cmpqos

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The cluster engine: many independent CMP node co-simulations
+ * advanced concurrently on a worker thread pool, fed by an open-loop
+ * arrival stream placed through global admission — Section 3.1's
+ * server of CMP nodes behind a Global Admission Controller, run as a
+ * parallel simulation instead of the sequential drain CmpServer does.
+ *
+ * Execution is barrier-stepped: virtual time is cut into placement
+ * quanta of `quantum` cycles. At each boundary the driver thread
+ * (alone) places every arrival falling inside the next quantum —
+ * probing all nodes, choosing one per GacPolicy, negotiating relaxed
+ * deadlines when every node rejects — then the pool advances all
+ * nodes through the quantum in parallel. Admission decisions are
+ * therefore causally ordered with node virtual time to within one
+ * quantum (plus the co-simulator's one-chunk skew), and, because
+ * nodes share no state and per-node work is deterministic, the whole
+ * run is bit-identical for a given seed at ANY worker thread count.
+ */
+
+#ifndef CMPQOS_CLUSTER_ENGINE_HH
+#define CMPQOS_CLUSTER_ENGINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "cluster/arrival.hh"
+#include "cluster/metrics.hh"
+#include "cluster/node_worker.hh"
+#include "common/thread_pool.hh"
+#include "qos/gac.hh"
+
+namespace cmpqos
+{
+
+/** Cluster engine configuration. */
+struct ClusterConfig
+{
+    /** CMP nodes in the cluster. */
+    int nodes = 8;
+    /** Worker threads (0 = hardware concurrency). */
+    unsigned threads = 0;
+    /** Placement quantum in cycles (bounded-quanta step size). */
+    Cycle quantum = 2'000'000;
+    /** Placement policy across nodes. */
+    GacPolicy policy = GacPolicy::LeastLoaded;
+    /** Renegotiate a relaxed deadline when every node rejects. */
+    bool negotiate = true;
+    /** Largest deadline relaxation factor offered (Section 3.1's
+     *  "negotiate with the user for an acceptable QoS target"). */
+    double negotiateMaxFactor = 4.0;
+    /** Relaxation step as a fraction of the requested deadline. */
+    double negotiateStep = 0.25;
+    /** Cluster seed; per-node streams are SplitMix-derived from it. */
+    std::uint64_t seed = 1;
+    /** Per-node framework configuration (seed field is overridden). */
+    FrameworkConfig node;
+};
+
+/**
+ * Parallel multi-node cluster simulation.
+ */
+class ClusterEngine
+{
+  public:
+    explicit ClusterEngine(const ClusterConfig &config);
+
+    int numNodes() const { return static_cast<int>(nodes_.size()); }
+    unsigned numThreads() const { return pool_.size(); }
+    NodeWorker &node(NodeId n);
+
+    /**
+     * Consume the whole arrival stream, then drain every node;
+     * returns the final metrics snapshot.
+     */
+    ClusterMetrics runToCompletion(ArrivalProcess &arrivals);
+
+    /**
+     * Run until cluster virtual time reaches @p duration; arrivals
+     * beyond it are counted as truncated, jobs still in flight stay
+     * in flight (open-loop semantics: the snapshot reports a running
+     * system, not a drained one).
+     */
+    ClusterMetrics runForDuration(ArrivalProcess &arrivals,
+                                  Cycle duration);
+
+  private:
+    struct Placement
+    {
+        bool accepted = false;
+        bool negotiated = false;
+        NodeId node = -1;
+    };
+
+    ClusterMetrics run(ArrivalProcess &arrivals, Cycle horizon,
+                       bool drain);
+    Placement place(const ClusterArrival &arrival);
+    /** Choose among accepting nodes per policy; -1 if none accept. */
+    NodeId choose(const JobRequest &request, InstCount instructions);
+    void advanceAll(Cycle t);
+    ClusterMetrics snapshot() const;
+
+    ClusterConfig config_;
+    ThreadPool pool_;
+    std::vector<std::unique_ptr<NodeWorker>> nodes_;
+
+    // Driver-side admission counters.
+    std::uint64_t submitted_ = 0;
+    std::uint64_t accepted_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t negotiated_ = 0;
+    std::uint64_t truncated_ = 0;
+    std::array<std::uint64_t, numQosTiers> acceptedByTier_{};
+    double wallSeconds_ = 0.0;
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_CLUSTER_ENGINE_HH

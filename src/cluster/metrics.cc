@@ -1,0 +1,198 @@
+#include "metrics.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace cmpqos
+{
+
+namespace
+{
+
+std::size_t
+modeIndex(ExecutionMode m)
+{
+    return static_cast<std::size_t>(m);
+}
+
+const char *const modeKey[3] = {"strict", "elastic", "opportunistic"};
+const char *const tierKey[numQosTiers] = {"gold", "silver", "bronze"};
+
+std::string
+num(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6f", v);
+    return buf;
+}
+
+} // namespace
+
+NodeMetrics
+MetricsExporter::collectNode(const NodeWorker &worker)
+{
+    const QosFramework &fw = worker.framework();
+    NodeMetrics m;
+    m.node = worker.id();
+    m.virtualTime = worker.virtualNow();
+    m.placed = worker.placed();
+    m.inFlight = worker.inFlight();
+
+    for (const auto &job : fw.jobs()) {
+        if (job->state() == JobState::Completed) {
+            ++m.completed;
+            auto &tally = m.byMode[modeIndex(job->mode().mode)];
+            ++tally.completed;
+            if (job->deadlineMet())
+                ++tally.deadlineHits;
+        }
+        m.stolenWays += job->stolenWays;
+    }
+
+    double busy = 0.0;
+    const CmpSystem &sys = fw.system();
+    for (int c = 0; c < sys.numCores(); ++c) {
+        const CoreLedger &ledger = sys.core(c).ledger();
+        m.instructions += ledger.instructions;
+        busy += ledger.cycles;
+    }
+    const double capacity = static_cast<double>(m.virtualTime) *
+                            static_cast<double>(sys.numCores());
+    m.utilisation = capacity <= 0.0 ? 0.0 : busy / capacity;
+    if (m.utilisation > 1.0)
+        m.utilisation = 1.0;
+    return m;
+}
+
+void
+MetricsExporter::aggregate(ClusterMetrics &cluster,
+                           const std::vector<NodeMetrics> &nodes)
+{
+    cluster.nodes = nodes;
+    cluster.virtualTime = 0;
+    cluster.instructions = 0;
+    cluster.completed = 0;
+    cluster.stolenWays = 0;
+    cluster.byMode = {};
+    for (const auto &n : nodes) {
+        cluster.virtualTime = std::max(cluster.virtualTime,
+                                       n.virtualTime);
+        cluster.instructions += n.instructions;
+        cluster.completed += n.completed;
+        cluster.stolenWays += n.stolenWays;
+        for (std::size_t i = 0; i < cluster.byMode.size(); ++i) {
+            cluster.byMode[i].completed += n.byMode[i].completed;
+            cluster.byMode[i].deadlineHits += n.byMode[i].deadlineHits;
+        }
+    }
+}
+
+std::string
+ClusterMetrics::fingerprint() const
+{
+    std::ostringstream os;
+    os << "seed=" << seed << " submitted=" << submitted
+       << " accepted=" << accepted << " rejected=" << rejected
+       << " negotiated=" << negotiated << " truncated=" << truncated
+       << " tiers=" << acceptedByTier[0] << "/" << acceptedByTier[1]
+       << "/" << acceptedByTier[2] << " vt=" << virtualTime
+       << " instr=" << instructions << " completed=" << completed
+       << " stolen=" << stolenWays;
+    for (std::size_t i = 0; i < byMode.size(); ++i)
+        os << " " << modeKey[i] << "=" << byMode[i].completed << ":"
+           << byMode[i].deadlineHits;
+    for (const auto &n : nodes)
+        os << " n" << n.node << "=" << n.placed << ":" << n.completed
+           << ":" << n.inFlight << ":" << n.instructions << ":"
+           << n.stolenWays << ":" << n.virtualTime;
+    return os.str();
+}
+
+void
+MetricsExporter::writeJsonl(const ClusterMetrics &m, std::ostream &os)
+{
+    os << "{\"type\":\"cluster\",\"seed\":" << m.seed
+       << ",\"threads\":" << m.threads << ",\"quantum\":" << m.quantum
+       << ",\"submitted\":" << m.submitted
+       << ",\"accepted\":" << m.accepted
+       << ",\"rejected\":" << m.rejected
+       << ",\"negotiated\":" << m.negotiated
+       << ",\"truncated\":" << m.truncated << ",\"accepted_by_tier\":{";
+    for (std::size_t t = 0; t < numQosTiers; ++t)
+        os << (t ? "," : "") << "\"" << tierKey[t]
+           << "\":" << m.acceptedByTier[t];
+    os << "},\"accept_rate\":" << num(m.acceptRate())
+       << ",\"completed\":" << m.completed
+       << ",\"virtual_cycles\":" << m.virtualTime
+       << ",\"instructions\":" << m.instructions
+       << ",\"stolen_ways\":" << m.stolenWays
+       << ",\"deadline_hit_rate\":{";
+    for (std::size_t i = 0; i < m.byMode.size(); ++i)
+        os << (i ? "," : "") << "\"" << modeKey[i]
+           << "\":" << num(m.byMode[i].hitRate());
+    os << "},\"wall_seconds\":" << num(m.wallSeconds)
+       << ",\"jobs_per_second\":" << num(m.jobsPerWallSecond()) << "}\n";
+
+    for (const auto &n : m.nodes) {
+        os << "{\"type\":\"node\",\"node\":" << n.node
+           << ",\"virtual_cycles\":" << n.virtualTime
+           << ",\"placed\":" << n.placed
+           << ",\"completed\":" << n.completed
+           << ",\"in_flight\":" << n.inFlight
+           << ",\"instructions\":" << n.instructions
+           << ",\"utilisation\":" << num(n.utilisation)
+           << ",\"stolen_ways\":" << n.stolenWays;
+        for (std::size_t i = 0; i < n.byMode.size(); ++i)
+            os << ",\"" << modeKey[i]
+               << "_completed\":" << n.byMode[i].completed << ",\""
+               << modeKey[i]
+               << "_deadline_hits\":" << n.byMode[i].deadlineHits;
+        os << "}\n";
+    }
+}
+
+void
+MetricsExporter::writeCsv(const ClusterMetrics &m, std::ostream &os)
+{
+    os << "node,virtual_cycles,placed,completed,in_flight,"
+          "instructions,utilisation,stolen_ways";
+    for (const char *key : modeKey)
+        os << "," << key << "_completed," << key << "_deadline_hits";
+    os << "\n";
+    for (const auto &n : m.nodes) {
+        os << n.node << "," << n.virtualTime << "," << n.placed << ","
+           << n.completed << "," << n.inFlight << ","
+           << n.instructions << "," << num(n.utilisation) << ","
+           << n.stolenWays;
+        for (const auto &tally : n.byMode)
+            os << "," << tally.completed << "," << tally.deadlineHits;
+        os << "\n";
+    }
+}
+
+void
+MetricsExporter::writeJsonlFile(const ClusterMetrics &m,
+                                const std::string &path)
+{
+    std::ofstream os(path, std::ios::app);
+    if (!os)
+        cmpqos_fatal("cannot open metrics file '%s'", path.c_str());
+    writeJsonl(m, os);
+}
+
+void
+MetricsExporter::writeCsvFile(const ClusterMetrics &m,
+                              const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        cmpqos_fatal("cannot open metrics file '%s'", path.c_str());
+    writeCsv(m, os);
+}
+
+} // namespace cmpqos

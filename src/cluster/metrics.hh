@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Cluster metrics: per-node and cluster-wide counters aggregated from
+ * the node workers after (or during) a cluster run, exportable as
+ * JSONL and CSV snapshots — the accept/reject/downgrade, deadline-
+ * hit-rate and utilisation measurements that serving-oriented QoS
+ * work (e.g. SLO-aware cluster schedulers) reports continuously.
+ *
+ * The aggregate also provides a canonical fingerprint string covering
+ * every simulation-determined counter (and excluding wall-clock
+ * time), which the determinism tests compare across worker-thread
+ * counts: same seed => same fingerprint at 1, 2, or N threads.
+ */
+
+#ifndef CMPQOS_CLUSTER_METRICS_HH
+#define CMPQOS_CLUSTER_METRICS_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cluster/arrival.hh"
+#include "cluster/node_worker.hh"
+#include "qos/mode.hh"
+
+namespace cmpqos
+{
+
+/** Completion counters for one execution mode. */
+struct ModeTally
+{
+    std::uint64_t completed = 0;
+    std::uint64_t deadlineHits = 0;
+
+    double
+    hitRate() const
+    {
+        return completed == 0 ? 1.0
+                              : static_cast<double>(deadlineHits) /
+                                    static_cast<double>(completed);
+    }
+};
+
+/** Snapshot of one node's counters. */
+struct NodeMetrics
+{
+    NodeId node = -1;
+    Cycle virtualTime = 0;
+    std::uint64_t placed = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t inFlight = 0;
+    /** Instructions retired across the node's cores. */
+    InstCount instructions = 0;
+    /** Core-busy fraction of (cores x virtual time). */
+    double utilisation = 0.0;
+    /** Cache ways stolen for Elastic jobs (Section 4's engine). */
+    std::uint64_t stolenWays = 0;
+    std::array<ModeTally, 3> byMode; // indexed by ExecutionMode
+};
+
+/** Snapshot of the whole cluster. */
+struct ClusterMetrics
+{
+    // Run identity.
+    std::uint64_t seed = 0;
+    unsigned threads = 1;
+    Cycle quantum = 0;
+
+    // Driver-side admission counters.
+    std::uint64_t submitted = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    /** Accepted only after deadline renegotiation. */
+    std::uint64_t negotiated = 0;
+    /** Arrivals past the run horizon, never offered for admission. */
+    std::uint64_t truncated = 0;
+    std::array<std::uint64_t, numQosTiers> acceptedByTier{};
+
+    // Simulation-side aggregates.
+    Cycle virtualTime = 0;
+    InstCount instructions = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t stolenWays = 0;
+    std::array<ModeTally, 3> byMode;
+
+    // Host-side measurement (excluded from the fingerprint).
+    double wallSeconds = 0.0;
+
+    std::vector<NodeMetrics> nodes;
+
+    double
+    acceptRate() const
+    {
+        return submitted == 0 ? 1.0
+                              : static_cast<double>(accepted) /
+                                    static_cast<double>(submitted);
+    }
+
+    /** Completed jobs per host-side second. */
+    double
+    jobsPerWallSecond() const
+    {
+        return wallSeconds <= 0.0
+                   ? 0.0
+                   : static_cast<double>(completed) / wallSeconds;
+    }
+
+    /**
+     * Canonical digest of every simulation-determined counter —
+     * admission totals, per-mode deadline hits, per-node placement
+     * and instruction totals — for determinism comparisons. Wall
+     * clock and thread count are deliberately excluded.
+     */
+    std::string fingerprint() const;
+};
+
+/**
+ * Aggregates node-worker state into snapshots and writes them out.
+ */
+class MetricsExporter
+{
+  public:
+    /** Collect one node's counters (node must be quiescent). */
+    static NodeMetrics collectNode(const NodeWorker &worker);
+
+    /**
+     * Fold per-node snapshots into @p cluster (fills the
+     * simulation-side aggregates and the nodes vector).
+     */
+    static void aggregate(ClusterMetrics &cluster,
+                          const std::vector<NodeMetrics> &nodes);
+
+    /** One JSON object per line: a cluster line, then a node line
+     *  per node. */
+    static void writeJsonl(const ClusterMetrics &m, std::ostream &os);
+
+    /** CSV: header plus one row per node. */
+    static void writeCsv(const ClusterMetrics &m, std::ostream &os);
+
+    /** File variants; fatal() when the path cannot be opened. */
+    static void writeJsonlFile(const ClusterMetrics &m,
+                               const std::string &path);
+    static void writeCsvFile(const ClusterMetrics &m,
+                             const std::string &path);
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_CLUSTER_METRICS_HH

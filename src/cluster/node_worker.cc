@@ -1,0 +1,49 @@
+#include "node_worker.hh"
+
+namespace cmpqos
+{
+
+NodeWorker::NodeWorker(NodeId id, const FrameworkConfig &config,
+                       std::uint64_t seed)
+    : id_(id)
+{
+    FrameworkConfig node_config = config;
+    node_config.seed = seed;
+    framework_ = std::make_unique<QosFramework>(node_config);
+}
+
+void
+NodeWorker::advanceTo(Cycle t)
+{
+    Simulation &sim = framework_->simulation();
+    if (sim.now() >= t)
+        return;
+    // A no-op event at t pins the clock to the quantum boundary even
+    // when the node has nothing to execute, so admission probes in
+    // the next quantum see a consistent "now" on every node.
+    sim.schedule(t, []() {}, "quantum");
+    sim.run(t);
+}
+
+void
+NodeWorker::drain()
+{
+    framework_->runToCompletion();
+}
+
+AdmissionDecision
+NodeWorker::probe(const JobRequest &request, InstCount instructions) const
+{
+    return framework_->probeJob(request, instructions);
+}
+
+Job *
+NodeWorker::submit(const JobRequest &request, InstCount instructions)
+{
+    Job *job = framework_->submitJob(request, instructions);
+    if (job != nullptr)
+        ++placed_;
+    return job;
+}
+
+} // namespace cmpqos

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * One CMP node inside the cluster engine: a QosFramework co-simulation
+ * advanced in bounded quanta by the worker thread pool.
+ *
+ * A NodeWorker is only ever touched from one thread at a time — the
+ * driver thread between quanta (placement probes and submissions) and
+ * exactly one pool worker during a quantum (advanceTo / drain). The
+ * engine's barrier-step loop enforces that ownership handoff, so the
+ * worker itself needs no locks.
+ */
+
+#ifndef CMPQOS_CLUSTER_NODE_WORKER_HH
+#define CMPQOS_CLUSTER_NODE_WORKER_HH
+
+#include <memory>
+
+#include "qos/framework.hh"
+
+namespace cmpqos
+{
+
+/**
+ * A cluster node: framework + per-node placement counters.
+ */
+class NodeWorker
+{
+  public:
+    /**
+     * @param seed Per-node RNG stream seed (the engine derives these
+     *        from the cluster seed via SplitMix so streams are
+     *        independent and reproducible at any thread count).
+     */
+    NodeWorker(NodeId id, const FrameworkConfig &config,
+               std::uint64_t seed);
+
+    NodeId id() const { return id_; }
+    QosFramework &framework() { return *framework_; }
+    const QosFramework &framework() const { return *framework_; }
+
+    /** Node-local virtual time. */
+    Cycle virtualNow() const { return framework_->simulation().now(); }
+
+    /**
+     * Advance the node's co-simulation to at least @p t (exactly t
+     * when the node idles before then; overshoot is bounded by one
+     * execution chunk otherwise).
+     */
+    void advanceTo(Cycle t);
+
+    /** Run until every submitted job has completed. */
+    void drain();
+
+    /** Side-effect-free admission probe at the node's local time. */
+    AdmissionDecision probe(const JobRequest &request,
+                            InstCount instructions) const;
+
+    /** Submit (commits on acceptance). @return the job or nullptr. */
+    Job *submit(const JobRequest &request, InstCount instructions);
+
+    /** Jobs placed on this node so far. */
+    std::uint64_t placed() const { return placed_; }
+
+    /** Jobs currently in flight (submitted, not finished). */
+    std::size_t inFlight() const { return framework_->pendingJobs(); }
+
+  private:
+    NodeId id_;
+    std::unique_ptr<QosFramework> framework_;
+    std::uint64_t placed_ = 0;
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_CLUSTER_NODE_WORKER_HH

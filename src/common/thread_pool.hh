@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A fixed-size worker thread pool with a batch-barrier API, used by
+ * the cluster engine (src/cluster) to advance independent CMP node
+ * simulations concurrently.
+ *
+ * The pool deliberately exposes only parallelFor: run fn(i) for every
+ * i in [0, n) and block until all calls return. Cluster determinism
+ * rests on this shape — each index is an independent unit of work
+ * (one node), so the result is identical no matter how many workers
+ * execute the batch or how indices interleave.
+ */
+
+#ifndef CMPQOS_COMMON_THREAD_POOL_HH
+#define CMPQOS_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cmpqos
+{
+
+/**
+ * Fixed set of worker threads executing index batches.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn @p num_threads workers (must be >= 1). */
+    explicit ThreadPool(unsigned num_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned size() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Run fn(0) .. fn(n-1) on the pool's workers and block until all
+     * calls have returned. Calls must be independent of one another;
+     * fn must not call back into the pool. fn must not throw (the
+     * simulator reports errors via panic/fatal, which abort).
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** std::thread::hardware_concurrency(), but never 0. */
+    static unsigned hardwareConcurrency();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable workReady_;
+    std::condition_variable batchDone_;
+    /** Incremented per parallelFor call; wakes workers. */
+    std::uint64_t batchId_ = 0;
+    const std::function<void(std::size_t)> *fn_ = nullptr;
+    std::size_t nextIndex_ = 0;
+    std::size_t total_ = 0;
+    std::size_t completed_ = 0;
+    bool shutdown_ = false;
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_COMMON_THREAD_POOL_HH

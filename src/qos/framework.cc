@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <mutex>
 
 #include "common/logging.hh"
 #include "workload/benchmark.hh"
@@ -75,7 +76,7 @@ WorkloadResult::wallClocks(ExecutionMode mode) const
 QosFramework::QosFramework(const FrameworkConfig &config)
     : config_(config), sys_(config.cmp), sim_(sys_),
       lac_(config.admission), sched_(sim_, sys_),
-      steal_(sys_, config.stealing), rng_(0x1234abcdULL)
+      steal_(sys_, config.stealing), rng_(config.seed)
 {
     sim_.setCompletionHandler(
         [this](JobExecution *exec) { onCompletion(exec); });
@@ -110,14 +111,20 @@ double
 calibratedSoloCpi(const std::string &benchmark, unsigned ways,
                   const CmpConfig &cmp)
 {
+    // Guarded: concurrent node workers (src/cluster) may calibrate
+    // different benchmarks at once.
+    static std::mutex memo_mu;
     static std::map<std::string, double> memo;
     const std::string key =
         benchmark + "/" + std::to_string(ways) + "/" +
         std::to_string(cmp.l2.sizeBytes) + "/" +
         std::to_string(cmp.l2.assoc);
-    auto it = memo.find(key);
-    if (it != memo.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(memo_mu);
+        auto it = memo.find(key);
+        if (it != memo.end())
+            return it->second;
+    }
 
     CmpConfig cfg = cmp;
     cfg.chunkInstructions = 50'000;
@@ -134,6 +141,7 @@ calibratedSoloCpi(const std::string &benchmark, unsigned ways,
         [&](Addr a) { sys.l2().access(0, a, false); });
     sim.startJobOn(0, &job);
     sim.run();
+    std::lock_guard<std::mutex> lock(memo_mu);
     memo[key] = job.cpi();
     return job.cpi();
 }

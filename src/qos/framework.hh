@@ -68,6 +68,12 @@ struct FrameworkConfig
     bool enforceMaxWallClock = false;
     /** Grace period before enforcement, as a fraction of tw. */
     double enforcementGraceFraction = 0.02;
+    /**
+     * Seed of the node's internal RNG stream (job access-generator
+     * seeds). Multi-node engines derive one per node (SplitMix via
+     * Rng) so node streams are independent yet reproducible.
+     */
+    std::uint64_t seed = 0x1234abcdULL;
 
     /** Derive a config for one Table 2 configuration. */
     static FrameworkConfig forModeConfig(ModeConfig config);
@@ -200,15 +206,25 @@ class QosFramework
                                InstCount instructions) const;
 
     Simulation &simulation() { return sim_; }
+    const Simulation &simulation() const { return sim_; }
     CmpSystem &system() { return sys_; }
+    const CmpSystem &system() const { return sys_; }
     LocalAdmissionController &lac() { return lac_; }
     Scheduler &scheduler() { return sched_; }
     ResourceStealingEngine &stealing() { return steal_; }
 
     const std::vector<std::unique_ptr<Job>> &jobs() const { return jobs_; }
 
+    const FrameworkConfig &config() const { return config_; }
+
     /** Reserved-start retries that found no free core (diagnostics). */
     std::uint64_t startRetries() const { return startRetries_; }
+
+    /** Jobs submitted but not yet completed/terminated (in flight). */
+    std::size_t pendingJobs() const { return pendingCount_; }
+
+    /** Jobs that ran to completion on this node. */
+    std::size_t completedJobs() const { return completedCount_; }
 
   private:
     Job *createJob(const JobRequest &request, InstCount instructions);

@@ -7,6 +7,17 @@
 namespace cmpqos
 {
 
+const char *
+gacPolicyName(GacPolicy p)
+{
+    switch (p) {
+      case GacPolicy::FirstFit: return "first-fit";
+      case GacPolicy::EarliestSlot: return "earliest-slot";
+      case GacPolicy::LeastLoaded: return "least-loaded";
+    }
+    return "?";
+}
+
 GlobalAdmissionController::GlobalAdmissionController(GacPolicy policy)
     : policy_(policy)
 {
@@ -35,10 +46,28 @@ GlobalAdmissionController::probeNode(const NodeEntry &node, const Job &job,
     return node.lac->probe(shadow, now);
 }
 
+namespace
+{
+
+/** Live reservations on a LAC (still running or scheduled) at @p t. */
+std::size_t
+liveReservations(const LocalAdmissionController &lac, Cycle t)
+{
+    std::size_t live = 0;
+    for (const auto &r : lac.timeline().reservations())
+        if (r.end > t)
+            ++live;
+    return live;
+}
+
+} // namespace
+
 GacDecision
 GlobalAdmissionController::submit(Job &job, Cycle now)
 {
     GacDecision best;
+    std::size_t best_load = 0;
+    unsigned best_ways = 0;
     for (const auto &node : nodes_) {
         const AdmissionDecision d = probeNode(node, job, now, 0);
         if (!d.accepted)
@@ -49,15 +78,29 @@ GlobalAdmissionController::submit(Job &job, Cycle now)
             best.local = node.lac->submit(job, now);
             return best;
         }
-        if (!best.accepted || d.slotStart < best.local.slotStart) {
+        bool better = !best.accepted;
+        if (!better && policy_ == GacPolicy::EarliestSlot)
+            better = d.slotStart < best.local.slotStart;
+        if (!better && policy_ == GacPolicy::LeastLoaded) {
+            const std::size_t load = liveReservations(*node.lac, now);
+            const unsigned ways =
+                node.lac->timeline().reservedAt(now).ways;
+            better = load < best_load ||
+                     (load == best_load && ways < best_ways);
+        }
+        if (better) {
             best.accepted = true;
             best.node = node.id;
             best.local = d;
+            if (policy_ == GacPolicy::LeastLoaded) {
+                best_load = liveReservations(*node.lac, now);
+                best_ways = node.lac->timeline().reservedAt(now).ways;
+            }
         }
     }
     if (!best.accepted)
         return best;
-    // EarliestSlot: commit on the winning node.
+    // EarliestSlot / LeastLoaded: commit on the winning node.
     for (const auto &node : nodes_) {
         if (node.id == best.node) {
             best.local = node.lac->submit(job, now);

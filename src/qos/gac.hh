@@ -31,7 +31,15 @@ enum class GacPolicy
     FirstFit,
     /** Node offering the earliest timeslot start. */
     EarliestSlot,
+    /**
+     * Node with the fewest live reservations, ties broken by the
+     * lowest reserved cache share at submission time and then by id.
+     * Spreads load across the fleet (the cluster engine's default).
+     */
+    LeastLoaded,
 };
+
+const char *gacPolicyName(GacPolicy p);
 
 /** Outcome of a GAC submission. */
 struct GacDecision

@@ -26,11 +26,12 @@ ServerDecision
 CmpServer::submit(const JobRequest &request, InstCount instructions)
 {
     ServerDecision best;
+    std::size_t best_load = 0;
+    unsigned best_ways = 0;
     for (int n = 0; n < numNodes(); ++n) {
+        QosFramework &node = *nodes_[static_cast<std::size_t>(n)];
         ++probes_;
-        const AdmissionDecision d =
-            nodes_[static_cast<std::size_t>(n)]->probeJob(request,
-                                                          instructions);
+        const AdmissionDecision d = node.probeJob(request, instructions);
         if (!d.accepted)
             continue;
         if (policy_ == GacPolicy::FirstFit) {
@@ -39,10 +40,30 @@ CmpServer::submit(const JobRequest &request, InstCount instructions)
             best.local = d;
             break;
         }
-        if (!best.accepted || d.slotStart < best.local.slotStart) {
+        bool better = !best.accepted;
+        if (!better && policy_ == GacPolicy::EarliestSlot)
+            better = d.slotStart < best.local.slotStart;
+        if (!better && policy_ == GacPolicy::LeastLoaded) {
+            const std::size_t load = node.pendingJobs();
+            const unsigned ways = node.lac()
+                                      .timeline()
+                                      .reservedAt(node.simulation().now())
+                                      .ways;
+            better = load < best_load ||
+                     (load == best_load && ways < best_ways);
+        }
+        if (better) {
             best.accepted = true;
             best.node = n;
             best.local = d;
+            if (policy_ == GacPolicy::LeastLoaded) {
+                best_load = node.pendingJobs();
+                best_ways =
+                    node.lac()
+                        .timeline()
+                        .reservedAt(node.simulation().now())
+                        .ways;
+            }
         }
     }
     if (!best.accepted) {
@@ -60,6 +81,42 @@ CmpServer::submit(const JobRequest &request, InstCount instructions)
     ++placed_[static_cast<std::size_t>(best.node)];
     best.job = job;
     return best;
+}
+
+ServerDecision
+CmpServer::submitNegotiated(const JobRequest &request,
+                            InstCount instructions, double max_factor,
+                            double step_fraction)
+{
+    ServerDecision d = submit(request, instructions);
+    if (d.accepted)
+        return d;
+    // Renegotiation: the user accepts the smallest deadline
+    // relaxation under which some node can take the job.
+    JobRequest relaxed = request;
+    for (double f = 1.0 + step_fraction; f <= max_factor + 1e-9;
+         f += step_fraction) {
+        relaxed.deadlineFactor = request.deadlineFactor * f;
+        bool fits = false;
+        for (int n = 0; n < numNodes() && !fits; ++n) {
+            ++probes_;
+            fits = nodes_[static_cast<std::size_t>(n)]
+                       ->probeJob(relaxed, instructions)
+                       .accepted;
+        }
+        if (!fits)
+            continue;
+        // submit() re-probes and commits; undo the failed attempt's
+        // rejected tally so the job counts once, as accepted.
+        --rejected_;
+        d = submit(relaxed, instructions);
+        cmpqos_assert(d.accepted,
+                      "negotiated probe accepted but submit rejected");
+        d.negotiated = true;
+        ++negotiated_;
+        return d;
+    }
+    return d;
 }
 
 void

@@ -30,6 +30,8 @@ namespace cmpqos
 struct ServerDecision
 {
     bool accepted = false;
+    /** Accepted only after deadline renegotiation. */
+    bool negotiated = false;
     NodeId node = -1;
     Job *job = nullptr;
     AdmissionDecision local;
@@ -55,12 +57,26 @@ class CmpServer
     ServerDecision submit(const JobRequest &request,
                           InstCount instructions);
 
+    /**
+     * Submit with negotiation (Section 3.1): when every node rejects,
+     * probe progressively relaxed deadlines (steps of
+     * @p step_fraction of the requested factor, up to @p max_factor
+     * times it) and place the job under the first factor some node
+     * accepts. The decision's negotiated flag records the relaxation.
+     */
+    ServerDecision submitNegotiated(const JobRequest &request,
+                                    InstCount instructions,
+                                    double max_factor = 4.0,
+                                    double step_fraction = 0.25);
+
     /** Run every node's simulation until all its jobs complete. */
     void runToCompletion();
 
     std::uint64_t probes() const { return probes_; }
     std::uint64_t acceptedCount() const { return accepted_; }
     std::uint64_t rejectedCount() const { return rejected_; }
+    /** Jobs accepted only after deadline renegotiation. */
+    std::uint64_t negotiatedCount() const { return negotiated_; }
 
     /** Jobs placed on node @p n so far. */
     std::size_t placedOn(NodeId n) const;
@@ -75,6 +91,7 @@ class CmpServer
     std::uint64_t probes_ = 0;
     std::uint64_t accepted_ = 0;
     std::uint64_t rejected_ = 0;
+    std::uint64_t negotiated_ = 0;
 };
 
 } // namespace cmpqos

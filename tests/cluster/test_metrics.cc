@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for cluster metrics aggregation, fingerprinting, and the
+ * JSONL / CSV exporters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cluster/engine.hh"
+#include "cluster/metrics.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+NodeMetrics
+sampleNode(NodeId id, std::uint64_t placed)
+{
+    NodeMetrics n;
+    n.node = id;
+    n.virtualTime = 1'000'000;
+    n.placed = placed;
+    n.completed = placed;
+    n.instructions = placed * 500'000;
+    n.utilisation = 0.5;
+    n.stolenWays = id == 0 ? 3 : 0;
+    n.byMode[0].completed = placed;
+    n.byMode[0].deadlineHits = placed;
+    return n;
+}
+
+TEST(ClusterMetrics, AggregateSumsNodeCounters)
+{
+    ClusterMetrics m;
+    MetricsExporter::aggregate(m, {sampleNode(0, 4), sampleNode(1, 6)});
+    EXPECT_EQ(m.nodes.size(), 2u);
+    EXPECT_EQ(m.completed, 10u);
+    EXPECT_EQ(m.instructions, 5'000'000u);
+    EXPECT_EQ(m.stolenWays, 3u);
+    EXPECT_EQ(m.virtualTime, 1'000'000u);
+    EXPECT_EQ(m.byMode[0].completed, 10u);
+    EXPECT_DOUBLE_EQ(m.byMode[0].hitRate(), 1.0);
+}
+
+TEST(ClusterMetrics, ModeTallyHitRateDefaultsToOne)
+{
+    ModeTally t;
+    EXPECT_DOUBLE_EQ(t.hitRate(), 1.0);
+    t.completed = 4;
+    t.deadlineHits = 1;
+    EXPECT_DOUBLE_EQ(t.hitRate(), 0.25);
+}
+
+TEST(ClusterMetrics, AcceptRateAndThroughput)
+{
+    ClusterMetrics m;
+    EXPECT_DOUBLE_EQ(m.acceptRate(), 1.0); // vacuous when idle
+    m.submitted = 8;
+    m.accepted = 6;
+    EXPECT_DOUBLE_EQ(m.acceptRate(), 0.75);
+    m.completed = 6;
+    EXPECT_DOUBLE_EQ(m.jobsPerWallSecond(), 0.0); // no wall time yet
+    m.wallSeconds = 2.0;
+    EXPECT_DOUBLE_EQ(m.jobsPerWallSecond(), 3.0);
+}
+
+TEST(ClusterMetrics, FingerprintIgnoresHostSideFields)
+{
+    ClusterMetrics a;
+    a.submitted = 5;
+    a.accepted = 4;
+    MetricsExporter::aggregate(a, {sampleNode(0, 4)});
+    ClusterMetrics b = a;
+    b.wallSeconds = 99.0;
+    b.threads = 16;
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(ClusterMetrics, FingerprintCoversSimulationCounters)
+{
+    ClusterMetrics a;
+    MetricsExporter::aggregate(a, {sampleNode(0, 4)});
+    ClusterMetrics b = a;
+    b.nodes[0].placed += 1;
+    ClusterMetrics c = a;
+    c.rejected += 1;
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+    EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+TEST(MetricsExporter, JsonlHasClusterAndNodeLines)
+{
+    ClusterMetrics m;
+    m.seed = 3;
+    m.submitted = 10;
+    m.accepted = 10;
+    MetricsExporter::aggregate(m, {sampleNode(0, 4), sampleNode(1, 6)});
+    std::ostringstream os;
+    MetricsExporter::writeJsonl(m, os);
+
+    std::istringstream in(os.str());
+    std::string line;
+    int clusterLines = 0, nodeLines = 0;
+    while (std::getline(in, line)) {
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        if (line.find("\"type\":\"cluster\"") != std::string::npos)
+            ++clusterLines;
+        if (line.find("\"type\":\"node\"") != std::string::npos)
+            ++nodeLines;
+    }
+    EXPECT_EQ(clusterLines, 1);
+    EXPECT_EQ(nodeLines, 2);
+    EXPECT_NE(os.str().find("\"accepted\":10"), std::string::npos);
+}
+
+TEST(MetricsExporter, CsvHasHeaderAndOneRowPerNode)
+{
+    ClusterMetrics m;
+    MetricsExporter::aggregate(m, {sampleNode(0, 4), sampleNode(1, 6)});
+    std::ostringstream os;
+    MetricsExporter::writeCsv(m, os);
+
+    std::istringstream in(os.str());
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0].rfind("node,", 0), 0u);
+    EXPECT_EQ(lines[1].rfind("0,", 0), 0u);
+    EXPECT_EQ(lines[2].rfind("1,", 0), 0u);
+}
+
+TEST(MetricsExporter, CollectNodeOnLiveEngineMatchesAggregate)
+{
+    ClusterConfig c;
+    c.nodes = 2;
+    c.threads = 1;
+    c.quantum = 500'000;
+    c.seed = 21;
+    c.node.cmp.chunkInstructions = 20'000;
+    ArrivalMix mix = ArrivalMix::defaults();
+    mix.instructions = 300'000;
+    PoissonArrivalProcess arrivals(200'000.0, mix, 21, 10);
+    ClusterEngine engine(c);
+    const ClusterMetrics m = engine.runToCompletion(arrivals);
+
+    std::uint64_t completed = 0;
+    InstCount instructions = 0;
+    for (const NodeMetrics &n : m.nodes) {
+        completed += n.completed;
+        instructions += n.instructions;
+        EXPECT_GE(n.utilisation, 0.0);
+        EXPECT_LE(n.utilisation, 1.0);
+    }
+    EXPECT_EQ(completed, m.completed);
+    EXPECT_EQ(instructions, m.instructions);
+    EXPECT_GT(m.instructions, 0u);
+}
+
+} // namespace
+} // namespace cmpqos

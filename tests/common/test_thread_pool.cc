@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the batch-barrier thread pool the cluster engine runs on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+TEST(ThreadPool, ReportsRequestedSize)
+{
+    ThreadPool one(1);
+    EXPECT_EQ(one.size(), 1u);
+    ThreadPool four(4);
+    EXPECT_EQ(four.size(), 4u);
+}
+
+TEST(ThreadPool, HardwareConcurrencyIsNeverZero)
+{
+    EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallelFor(n, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, HandlesMoreIndicesThanWorkers)
+{
+    ThreadPool pool(2);
+    std::atomic<std::size_t> sum{0};
+    pool.parallelFor(100, [&](std::size_t i) { sum += i + 1; });
+    EXPECT_EQ(sum.load(), 5050u);
+}
+
+TEST(ThreadPool, HandlesFewerIndicesThanWorkers)
+{
+    ThreadPool pool(8);
+    std::atomic<int> calls{0};
+    pool.parallelFor(3, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPool, EmptyBatchReturnsImmediately)
+{
+    ThreadPool pool(4);
+    bool called = false;
+    pool.parallelFor(0, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, BarrierCompletesBeforeReturning)
+{
+    // Every worker's side effects must be visible once parallelFor
+    // returns — no read may observe a stale slot.
+    ThreadPool pool(4);
+    std::vector<int> slots(64, 0);
+    for (int round = 1; round <= 10; ++round) {
+        pool.parallelFor(slots.size(),
+                         [&](std::size_t i) { slots[i] = round; });
+        for (int v : slots)
+            ASSERT_EQ(v, round);
+    }
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches)
+{
+    ThreadPool pool(3);
+    std::atomic<std::size_t> total{0};
+    for (int b = 0; b < 50; ++b)
+        pool.parallelFor(7, [&](std::size_t) { ++total; });
+    EXPECT_EQ(total.load(), 350u);
+}
+
+} // namespace
+} // namespace cmpqos

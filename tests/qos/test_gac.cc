@@ -127,6 +127,68 @@ TEST(Gac, NegotiateGivesUpBeyondMaxFactor)
     EXPECT_FALSE(gac.negotiateDeadline(j, 0).has_value());
 }
 
+TEST(Gac, PolicyNames)
+{
+    EXPECT_STREQ(gacPolicyName(GacPolicy::FirstFit), "first-fit");
+    EXPECT_STREQ(gacPolicyName(GacPolicy::EarliestSlot),
+                 "earliest-slot");
+    EXPECT_STREQ(gacPolicyName(GacPolicy::LeastLoaded),
+                 "least-loaded");
+}
+
+TEST(Gac, LeastLoadedTieBreaksToLowestNodeId)
+{
+    LocalAdmissionController lac0, lac1;
+    GlobalAdmissionController gac(GacPolicy::LeastLoaded);
+    gac.addNode(0, &lac0);
+    gac.addNode(1, &lac1);
+    // Both nodes equally idle: the lowest id wins deterministically.
+    Job j = makeJob(0, 1000, 3.0);
+    const auto d = gac.submit(j, 0);
+    EXPECT_TRUE(d.accepted);
+    EXPECT_EQ(d.node, 0);
+}
+
+TEST(Gac, LeastLoadedAvoidsBusyNode)
+{
+    LocalAdmissionController lac0, lac1;
+    GlobalAdmissionController gac(GacPolicy::LeastLoaded);
+    gac.addNode(0, &lac0);
+    gac.addNode(1, &lac1);
+    Job a = makeJob(0, 1000, 3.0);
+    Job b = makeJob(1, 1000, 3.0);
+    Job c = makeJob(2, 1000, 3.0);
+    EXPECT_EQ(gac.submit(a, 0).node, 0);
+    // Node 0 now holds a live reservation; node 1 is idle.
+    EXPECT_EQ(gac.submit(b, 0).node, 1);
+    // Both hold one reservation again: back to the tie-break.
+    EXPECT_EQ(gac.submit(c, 0).node, 0);
+}
+
+TEST(Gac, LeastLoadedTieBreaksOnReservedWays)
+{
+    // Same live-reservation count, but node 1's reservation pins
+    // fewer ways at the submission instant — it is less loaded.
+    LocalAdmissionController lac0, lac1;
+    Job wide = makeJob(0, 1000, 3.0);
+    QosTarget narrow_t;
+    narrow_t.cores = 1;
+    narrow_t.cacheWays = 2;
+    narrow_t.maxWallClock = 1000;
+    narrow_t.relativeDeadline = 3000;
+    Job narrow(1, "bzip2", 1'000'000, narrow_t, ModeSpec::strict());
+    ASSERT_TRUE(lac0.submit(wide, 0).accepted);
+    ASSERT_TRUE(lac1.submit(narrow, 0).accepted);
+
+    GlobalAdmissionController gac(GacPolicy::LeastLoaded);
+    gac.addNode(0, &lac0);
+    gac.addNode(1, &lac1);
+    Job c = makeJob(2, 1000, 3.0);
+    const auto d = gac.submit(c, 0);
+    EXPECT_TRUE(d.accepted);
+    EXPECT_EQ(d.node, 1);
+}
+
 TEST(Gac, ProbeCounting)
 {
     LocalAdmissionController lac0, lac1;

@@ -105,6 +105,65 @@ TEST(CmpServer, MixedModesAcrossNodes)
     EXPECT_TRUE(server.allQosDeadlinesMet());
 }
 
+TEST(CmpServer, LeastLoadedAlternatesAcrossIdleNodes)
+{
+    CmpServer server(2, fastConfig(), GacPolicy::LeastLoaded);
+    // Ties break to the lowest node id; each placement then makes
+    // that node the busier one, so four jobs alternate 0,1,0,1.
+    EXPECT_EQ(server.submit(strictReq("gobmk", 3.0), 2'000'000).node, 0);
+    EXPECT_EQ(server.submit(strictReq("gobmk", 3.0), 2'000'000).node, 1);
+    EXPECT_EQ(server.submit(strictReq("gobmk", 3.0), 2'000'000).node, 0);
+    EXPECT_EQ(server.submit(strictReq("gobmk", 3.0), 2'000'000).node, 1);
+    EXPECT_EQ(server.placedOn(0), 2u);
+    EXPECT_EQ(server.placedOn(1), 2u);
+    server.runToCompletion();
+    EXPECT_TRUE(server.allQosDeadlinesMet());
+}
+
+TEST(CmpServer, SubmitNegotiatedPassesThroughWhenJobFits)
+{
+    CmpServer server(1, fastConfig());
+    const auto d = server.submitNegotiated(strictReq("gobmk"),
+                                           2'000'000);
+    EXPECT_TRUE(d.accepted);
+    EXPECT_FALSE(d.negotiated);
+    EXPECT_EQ(server.negotiatedCount(), 0u);
+}
+
+TEST(CmpServer, SubmitNegotiatedRelaxesDeadlineWhenAllNodesReject)
+{
+    CmpServer server(1, fastConfig());
+    // Two 7-way jobs commit the node's QoS ways; a third tight job is
+    // rejected outright...
+    EXPECT_TRUE(server.submit(strictReq("gobmk"), 2'000'000).accepted);
+    EXPECT_TRUE(server.submit(strictReq("gobmk"), 2'000'000).accepted);
+    EXPECT_FALSE(server.submit(strictReq("gobmk"), 2'000'000).accepted);
+    EXPECT_EQ(server.rejectedCount(), 1u);
+    // ...but accepted once the user agrees to a relaxed deadline.
+    const auto d = server.submitNegotiated(strictReq("gobmk"),
+                                           2'000'000);
+    EXPECT_TRUE(d.accepted);
+    EXPECT_TRUE(d.negotiated);
+    EXPECT_EQ(server.negotiatedCount(), 1u);
+    EXPECT_EQ(server.acceptedCount(), 3u);
+    // The renegotiated job counts once, as accepted, not rejected.
+    EXPECT_EQ(server.rejectedCount(), 1u);
+    server.runToCompletion();
+    EXPECT_TRUE(server.allQosDeadlinesMet());
+}
+
+TEST(CmpServer, SubmitNegotiatedStillRejectsImpossibleRequests)
+{
+    CmpServer server(2, fastConfig());
+    JobRequest impossible = strictReq("gobmk");
+    impossible.cores = 99; // no node has 99 cores at any deadline
+    const auto d = server.submitNegotiated(impossible, 1'000'000);
+    EXPECT_FALSE(d.accepted);
+    EXPECT_FALSE(d.negotiated);
+    EXPECT_EQ(server.rejectedCount(), 1u);
+    EXPECT_EQ(server.negotiatedCount(), 0u);
+}
+
 TEST(CmpServer, ProbeCountsAccumulate)
 {
     CmpServer server(3, fastConfig());
