@@ -9,6 +9,7 @@
  */
 
 #include <cstdio>
+#include <string>
 
 #include "cluster/engine.hh"
 
@@ -44,10 +45,19 @@ main()
                 static_cast<unsigned long long>(m.acceptedByTier[0]),
                 static_cast<unsigned long long>(m.acceptedByTier[1]),
                 static_cast<unsigned long long>(m.acceptedByTier[2]));
-    std::printf("deadline hit rates: strict %.2f, elastic %.2f, "
-                "opportunistic %.2f\n",
-                m.byMode[0].hitRate(), m.byMode[1].hitRate(),
-                m.byMode[2].hitRate());
+    // A mode with no completed jobs has no hit rate (NaN) — print
+    // "n/a" rather than a number.
+    auto rate = [](const ModeTally &t) {
+        if (!t.hasHitRate())
+            return std::string("n/a");
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%.2f", t.hitRate());
+        return std::string(buf);
+    };
+    std::printf("deadline hit rates: strict %s, elastic %s, "
+                "opportunistic %s\n",
+                rate(m.byMode[0]).c_str(), rate(m.byMode[1]).c_str(),
+                rate(m.byMode[2]).c_str());
     for (const auto &n : m.nodes)
         std::printf("  node %d: %llu placed, utilisation %.2f\n",
                     n.node, static_cast<unsigned long long>(n.placed),

@@ -27,7 +27,16 @@ PartitionedCache::PartitionedCache(const CacheConfig &config, int num_cores,
 void
 PartitionedCache::setTargetWays(CoreId core, unsigned ways)
 {
+    const unsigned old = alloc_.target(core);
     alloc_.setTarget(core, ways);
+    if (trace_ != nullptr && trace_->active() && ways != old) {
+        TraceEvent e = traceEvent(TraceEventType::Repartition,
+                                  traceClock_ ? *traceClock_ : 0);
+        e.a = static_cast<std::uint64_t>(core);
+        e.b = ways;
+        e.x = old;
+        trace_->emit(e);
+    }
 }
 
 void

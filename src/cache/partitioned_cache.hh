@@ -31,6 +31,7 @@
 #include "cache/config.hh"
 #include "cache/partition.hh"
 #include "common/types.hh"
+#include "telemetry/recorder.hh"
 
 namespace cmpqos
 {
@@ -88,6 +89,18 @@ class PartitionedCache
      * blocks remain cached but become preferred victims (orphans).
      */
     void releaseCore(CoreId core);
+
+    /**
+     * Telemetry: emit a Repartition event whenever a core's target
+     * way count changes. @p clock points at the owning simulation's
+     * virtual clock (the cache has no clock of its own).
+     */
+    void
+    setTrace(TraceRecorder *trace, const Cycle *clock)
+    {
+        trace_ = trace;
+        traceClock_ = clock;
+    }
 
     /** Total blocks currently owned by @p core across all sets. */
     std::uint64_t blocksOwnedBy(CoreId core) const;
@@ -170,6 +183,9 @@ class PartitionedCache
     std::uint64_t stampCounter_ = 0;
 
     std::vector<CoreCacheStats> stats_;
+
+    TraceRecorder *trace_ = nullptr;
+    const Cycle *traceClock_ = nullptr;
 };
 
 } // namespace cmpqos

@@ -23,6 +23,17 @@ ClusterEngine::ClusterEngine(const ClusterConfig &config)
     for (int n = 0; n < config_.nodes; ++n)
         nodes_.push_back(std::make_unique<NodeWorker>(
             n, config_.node, seeder.next()));
+
+    if (config_.telemetry != nullptr) {
+        cmpqos_assert(config_.telemetry->producers() >= config_.nodes + 1,
+                      "telemetry collector has %d producers, cluster "
+                      "needs %d (nodes + driver)",
+                      config_.telemetry->producers(), config_.nodes + 1);
+        driverTrace_ = config_.telemetry->driverRecorder();
+        for (int n = 0; n < config_.nodes; ++n)
+            nodes_[static_cast<std::size_t>(n)]->setTrace(
+                config_.telemetry->nodeRecorder(n));
+    }
 }
 
 NodeWorker &
@@ -76,7 +87,21 @@ ClusterEngine::choose(const JobRequest &request, InstCount instructions)
 ClusterEngine::Placement
 ClusterEngine::place(const ClusterArrival &arrival)
 {
+    // Driver-side events carry the global arrival sequence number as
+    // their job id (node-local JobIds collide across nodes); the
+    // ArrivalPlaced event records the node-local id for correlation.
+    const auto seq = static_cast<JobId>(submitted_);
     ++submitted_;
+    const bool tracing = driverTrace_ != nullptr && driverTrace_->active();
+    if (tracing) {
+        TraceEvent e = traceEvent(TraceEventType::JobSubmitted,
+                                  arrival.time, seq);
+        e.a = static_cast<std::uint64_t>(arrival.tier);
+        e.b = arrival.instructions;
+        e.x = arrival.request.deadlineFactor;
+        e.setName(arrival.request.benchmark);
+        driverTrace_->emit(e);
+    }
     Placement p;
     JobRequest request = arrival.request;
     NodeId target = choose(request, arrival.instructions);
@@ -99,6 +124,12 @@ ClusterEngine::place(const ClusterArrival &arrival)
 
     if (target < 0) {
         ++rejected_;
+        if (tracing) {
+            TraceEvent e = traceEvent(TraceEventType::JobRejected,
+                                      arrival.time, seq);
+            e.setName("no node accepted");
+            driverTrace_->emit(e);
+        }
         return p;
     }
 
@@ -115,6 +146,22 @@ ClusterEngine::place(const ClusterArrival &arrival)
     ++acceptedByTier_[static_cast<std::size_t>(arrival.tier)];
     p.accepted = true;
     p.node = target;
+    if (tracing) {
+        if (p.negotiated) {
+            TraceEvent n = traceEvent(TraceEventType::JobNegotiated,
+                                      arrival.time, seq);
+            n.a = static_cast<std::uint64_t>(target);
+            n.x = request.deadlineFactor /
+                  arrival.request.deadlineFactor;
+            n.setName(arrival.request.benchmark);
+            driverTrace_->emit(n);
+        }
+        TraceEvent e = traceEvent(TraceEventType::ArrivalPlaced,
+                                  arrival.time, seq);
+        e.a = static_cast<std::uint64_t>(target);
+        e.b = static_cast<std::uint64_t>(job->id());
+        driverTrace_->emit(e);
+    }
     return p;
 }
 
@@ -161,6 +208,10 @@ ClusterEngine::run(ArrivalProcess &arrivals, Cycle horizon, bool drain)
             break;
         }
         advanceAll(next_q);
+        // Quantum barrier: every node is quiescent, so the rings can
+        // be emptied into the sinks in producer order.
+        if (config_.telemetry != nullptr)
+            config_.telemetry->drain();
         t = next_q;
     }
 
@@ -175,6 +226,8 @@ ClusterEngine::run(ArrivalProcess &arrivals, Cycle horizon, bool drain)
         if (pending)
             ++truncated_;
     }
+    if (config_.telemetry != nullptr)
+        config_.telemetry->drain();
 
     const auto wall_end = std::chrono::steady_clock::now();
     wallSeconds_ +=

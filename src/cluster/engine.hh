@@ -29,6 +29,7 @@
 #include "cluster/node_worker.hh"
 #include "common/thread_pool.hh"
 #include "qos/gac.hh"
+#include "telemetry/collector.hh"
 
 namespace cmpqos
 {
@@ -55,6 +56,14 @@ struct ClusterConfig
     std::uint64_t seed = 1;
     /** Per-node framework configuration (seed field is overridden). */
     FrameworkConfig node;
+    /**
+     * Optional telemetry hub (not owned; may be nullptr). Must be
+     * built with at least nodes + 1 producers: producer 0 takes the
+     * driver's placement events, producer i+1 node i's. The engine
+     * drains it at every quantum barrier; the caller still calls
+     * TraceCollector::finish() when the run (or runs) are over.
+     */
+    TraceCollector *telemetry = nullptr;
 };
 
 /**
@@ -103,6 +112,7 @@ class ClusterEngine
     ClusterConfig config_;
     ThreadPool pool_;
     std::vector<std::unique_ptr<NodeWorker>> nodes_;
+    TraceRecorder *driverTrace_ = nullptr;
 
     // Driver-side admission counters.
     std::uint64_t submitted_ = 0;

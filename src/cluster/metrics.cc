@@ -132,9 +132,16 @@ MetricsExporter::writeJsonl(const ClusterMetrics &m, std::ostream &os)
        << ",\"instructions\":" << m.instructions
        << ",\"stolen_ways\":" << m.stolenWays
        << ",\"deadline_hit_rate\":{";
-    for (std::size_t i = 0; i < m.byMode.size(); ++i)
-        os << (i ? "," : "") << "\"" << modeKey[i]
+    // Modes with no completions have no defined rate (hitRate() is
+    // NaN, which JSON cannot carry): leave them out of the map.
+    bool first_rate = true;
+    for (std::size_t i = 0; i < m.byMode.size(); ++i) {
+        if (!m.byMode[i].hasHitRate())
+            continue;
+        os << (first_rate ? "" : ",") << "\"" << modeKey[i]
            << "\":" << num(m.byMode[i].hitRate());
+        first_rate = false;
+    }
     os << "},\"wall_seconds\":" << num(m.wallSeconds)
        << ",\"jobs_per_second\":" << num(m.jobsPerWallSecond()) << "}\n";
 
@@ -162,15 +169,22 @@ MetricsExporter::writeCsv(const ClusterMetrics &m, std::ostream &os)
     os << "node,virtual_cycles,placed,completed,in_flight,"
           "instructions,utilisation,stolen_ways";
     for (const char *key : modeKey)
-        os << "," << key << "_completed," << key << "_deadline_hits";
+        os << "," << key << "_completed," << key << "_deadline_hits,"
+           << key << "_hit_rate";
     os << "\n";
     for (const auto &n : m.nodes) {
         os << n.node << "," << n.virtualTime << "," << n.placed << ","
            << n.completed << "," << n.inFlight << ","
            << n.instructions << "," << num(n.utilisation) << ","
            << n.stolenWays;
-        for (const auto &tally : n.byMode)
-            os << "," << tally.completed << "," << tally.deadlineHits;
+        for (const auto &tally : n.byMode) {
+            os << "," << tally.completed << "," << tally.deadlineHits
+               << ",";
+            // No completions: the rate is undefined; leave the cell
+            // empty rather than writing a fictitious 1.0 (or NaN).
+            if (tally.hasHitRate())
+                os << num(tally.hitRate());
+        }
         os << "\n";
     }
 }

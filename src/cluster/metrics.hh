@@ -18,6 +18,7 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -34,13 +35,22 @@ struct ModeTally
     std::uint64_t completed = 0;
     std::uint64_t deadlineHits = 0;
 
+    /**
+     * Deadline hit rate. With no completions there is no rate: the
+     * result is NaN, not 1.0 — a mode that never finished a job must
+     * not read as "100% of deadlines met". Exporters skip such modes;
+     * printers should test hasHitRate() first.
+     */
     double
     hitRate() const
     {
-        return completed == 0 ? 1.0
+        return completed == 0 ? std::numeric_limits<double>::quiet_NaN()
                               : static_cast<double>(deadlineHits) /
                                     static_cast<double>(completed);
     }
+
+    /** True when at least one job completed, so hitRate() is defined. */
+    bool hasHitRate() const { return completed != 0; }
 };
 
 /** Snapshot of one node's counters. */

@@ -13,16 +13,34 @@ NodeWorker::NodeWorker(NodeId id, const FrameworkConfig &config,
 }
 
 void
+NodeWorker::setTrace(TraceRecorder *trace)
+{
+    trace_ = trace;
+    framework_->setTrace(trace);
+}
+
+void
 NodeWorker::advanceTo(Cycle t)
 {
     Simulation &sim = framework_->simulation();
     if (sim.now() >= t)
         return;
+    const bool tracing = trace_ != nullptr && trace_->active();
+    if (tracing) {
+        TraceEvent e = traceEvent(TraceEventType::QuantumBegin, sim.now());
+        e.a = t;
+        trace_->emit(e);
+    }
     // A no-op event at t pins the clock to the quantum boundary even
     // when the node has nothing to execute, so admission probes in
     // the next quantum see a consistent "now" on every node.
     sim.schedule(t, []() {}, "quantum");
     sim.run(t);
+    if (tracing) {
+        TraceEvent e = traceEvent(TraceEventType::QuantumEnd, sim.now());
+        e.a = t;
+        trace_->emit(e);
+    }
 }
 
 void

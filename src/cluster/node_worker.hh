@@ -64,9 +64,18 @@ class NodeWorker
     /** Jobs currently in flight (submitted, not finished). */
     std::size_t inFlight() const { return framework_->pendingJobs(); }
 
+    /**
+     * Telemetry: wire @p trace through the node's framework and emit
+     * QuantumBegin/QuantumEnd around each advanceTo. The recorder's
+     * ring is SPSC-safe for the node's one-owner-at-a-time handoff
+     * (driver between quanta, one pool worker during one).
+     */
+    void setTrace(TraceRecorder *trace);
+
   private:
     NodeId id_;
     std::unique_ptr<QosFramework> framework_;
+    TraceRecorder *trace_ = nullptr;
     std::uint64_t placed_ = 0;
 };
 

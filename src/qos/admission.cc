@@ -119,6 +119,12 @@ LocalAdmissionController::submit(Job &job, Cycle now)
     if (!d.accepted) {
         ++rejected_;
         job.setState(JobState::Rejected);
+        if (trace_ != nullptr && trace_->active()) {
+            TraceEvent e =
+                traceEvent(TraceEventType::JobRejected, now, job.id());
+            e.setName(d.reason);
+            trace_->emit(e);
+        }
         return d;
     }
 
@@ -134,6 +140,23 @@ LocalAdmissionController::submit(Job &job, Cycle now)
                                  job.target().cacheWays,
                                  job.target().bandwidthPercent};
         timeline_.reserve(job.id(), d.slotStart, d.slotEnd, req);
+    }
+    if (trace_ != nullptr && trace_->active()) {
+        TraceEvent e =
+            traceEvent(TraceEventType::JobAdmitted, now, job.id());
+        e.a = d.slotStart;
+        e.b = d.slotEnd;
+        e.x = static_cast<double>(job.deadline);
+        e.setName(job.benchmark());
+        trace_->emit(e);
+        if (d.autoDowngraded) {
+            TraceEvent m =
+                traceEvent(TraceEventType::ModeDowngrade, now, job.id());
+            m.a = static_cast<std::uint64_t>(ExecutionMode::Strict);
+            m.b = static_cast<std::uint64_t>(ExecutionMode::Opportunistic);
+            m.setName("auto");
+            trace_->emit(m);
+        }
     }
     return d;
 }

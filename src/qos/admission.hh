@@ -22,6 +22,7 @@
 #include "common/types.hh"
 #include "qos/job.hh"
 #include "qos/resource.hh"
+#include "telemetry/recorder.hh"
 
 namespace cmpqos
 {
@@ -98,12 +99,19 @@ class LocalAdmissionController
     /** Modelled LAC occupancy in cycles (Section 7.5). */
     Cycle overheadCycles() const { return overheadCycles_; }
 
+    /**
+     * Telemetry: emit JobAdmitted / JobRejected from submit().
+     * Probes stay silent — they are side-effect free by contract.
+     */
+    void setTrace(TraceRecorder *trace) { trace_ = trace; }
+
   private:
     /** Shared admission logic; mutates nothing. */
     AdmissionDecision decide(const Job &job, Cycle now) const;
 
     AdmissionConfig config_;
     ResourceTimeline timeline_;
+    TraceRecorder *trace_ = nullptr;
     std::uint64_t accepted_ = 0;
     std::uint64_t rejected_ = 0;
     Cycle overheadCycles_ = 0;

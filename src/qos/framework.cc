@@ -97,6 +97,16 @@ QosFramework::QosFramework(const FrameworkConfig &config)
     }
 }
 
+void
+QosFramework::setTrace(TraceRecorder *trace)
+{
+    trace_ = trace;
+    sim_.setTrace(trace);
+    lac_.setTrace(trace);
+    steal_.setTrace(trace, sim_.clockPtr());
+    sys_.l2().setTrace(trace, sim_.clockPtr());
+}
+
 namespace
 {
 
@@ -290,12 +300,13 @@ QosFramework::scheduleEnforcement(Job *job)
             !job->runsReservedNow() || job->exec()->complete())
             return;
         ++enforcementKills_;
-        removeJob(job, JobState::Terminated);
+        removeJob(job, JobState::Terminated, "max-wall-clock exceeded");
     }, "enforce-" + std::to_string(job->id()));
 }
 
 void
-QosFramework::removeJob(Job *job, JobState final_state)
+QosFramework::removeJob(Job *job, JobState final_state,
+                        const char *cause)
 {
     if (job->exec() != nullptr) {
         sys_.dequeueJob(job->exec());
@@ -312,6 +323,14 @@ QosFramework::removeJob(Job *job, JobState final_state)
         lac_.cancel(*job);
     }
     job->setState(final_state);
+
+    if (trace_ != nullptr && trace_->active() &&
+        final_state == JobState::Terminated) {
+        TraceEvent e = traceEvent(TraceEventType::JobTerminated,
+                                  sim_.now(), job->id());
+        e.setName(cause);
+        trace_->emit(e);
+    }
 
     if (pendingCount_ > 0)
         --pendingCount_;
@@ -354,6 +373,12 @@ QosFramework::tryPromote(Job *job)
     }
     job->promotedToStrict = true;
     job->promotionTime = sim_.now();
+    if (trace_ != nullptr && trace_->active()) {
+        TraceEvent e = traceEvent(TraceEventType::ModePromoted,
+                                  sim_.now(), job->id());
+        e.a = static_cast<std::uint64_t>(core);
+        trace_->emit(e);
+    }
     scheduleEnforcement(job);
 }
 
@@ -374,6 +399,17 @@ QosFramework::onCompletion(JobExecution *exec)
         // Early completion reclaims the rest of the timeslot so new
         // jobs can be accepted sooner (Section 3.4).
         lac_.releaseEarly(*job, sim_.now());
+    }
+
+    if (trace_ != nullptr && trace_->active()) {
+        const bool met = job->deadlineMet();
+        TraceEvent e = traceEvent(met ? TraceEventType::DeadlineHit
+                                      : TraceEventType::DeadlineMiss,
+                                  sim_.now(), job->id());
+        e.a = job->deadline;
+        e.b = static_cast<std::uint64_t>(job->mode().mode);
+        e.x = job->wallClock();
+        trace_->emit(e);
     }
 
     ++completedCount_;
@@ -437,10 +473,20 @@ QosFramework::downgradeJob(Job &job, const ModeSpec &to)
         tl.reserve(job.id(), job.slotStart, job.slotStart + duration,
                    req);
         job.slotEnd = job.slotStart + duration;
+        const ExecutionMode from = job.mode().mode;
         job.setMode(to);
         if (job.state() == JobState::Running) {
             job.exec()->memPriority = true;
             steal_.activate(job);
+        }
+        if (trace_ != nullptr && trace_->active()) {
+            TraceEvent e = traceEvent(TraceEventType::ModeDowngrade,
+                                      now, job.id());
+            e.a = static_cast<std::uint64_t>(from);
+            e.b = static_cast<std::uint64_t>(to.mode);
+            e.x = to.slack;
+            e.setName("manual");
+            trace_->emit(e);
         }
         return true;
     }
@@ -453,12 +499,22 @@ QosFramework::downgradeJob(Job &job, const ModeSpec &to)
     lac_.cancel(job);
     const bool was_running = job.state() == JobState::Running &&
                              job.assignedCore != invalidCore;
+    const ExecutionMode from = job.mode().mode;
     job.setMode(to);
     if (was_running) {
         job.exec()->memPriority = false;
         sched_.demoteToPool(job);
     } else {
         sched_.startOpportunistic(job);
+    }
+    if (trace_ != nullptr && trace_->active()) {
+        TraceEvent e =
+            traceEvent(TraceEventType::ModeDowngrade, now, job.id());
+        e.a = static_cast<std::uint64_t>(from);
+        e.b = static_cast<std::uint64_t>(to.mode);
+        e.x = to.slack;
+        e.setName("manual");
+        trace_->emit(e);
     }
     return true;
 }
@@ -523,6 +579,7 @@ QosFramework::outcomeOf(const Job &job) const
     o.stolenWays = job.stolenWays;
     o.stealingCancelled = job.stealingCancelled;
     o.observedMissIncrease = job.observedMissIncrease;
+    o.cancelMissIncrease = job.cancelMissIncrease;
     if (job.exec() != nullptr) {
         o.startCycle = job.exec()->startCycle;
         o.endCycle = job.exec()->endCycle;

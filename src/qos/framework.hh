@@ -100,6 +100,8 @@ struct JobOutcome
     unsigned stolenWays = 0;
     bool stealingCancelled = false;
     double observedMissIncrease = 0.0;
+    /** Cumulative miss increase when cancellation fired (0 if never). */
+    double cancelMissIncrease = 0.0;
     double missRate = 0.0;
     double cpi = 0.0;
 
@@ -217,6 +219,15 @@ class QosFramework
 
     const FrameworkConfig &config() const { return config_; }
 
+    /**
+     * Telemetry: wire @p trace through every layer of this node —
+     * LAC (admit/reject), stealing engine (steal/cancel), partitioned
+     * cache (repartition), simulation (job start) — plus the
+     * framework's own lifecycle events (downgrade, promotion,
+     * deadline outcome, termination). Pass nullptr to detach.
+     */
+    void setTrace(TraceRecorder *trace);
+
     /** Reserved-start retries that found no free core (diagnostics). */
     std::uint64_t startRetries() const { return startRetries_; }
 
@@ -234,7 +245,8 @@ class QosFramework
     void tryPromote(Job *job);
     void onCompletion(JobExecution *exec);
     /** Tear a live job out of the system (cancel / enforcement). */
-    void removeJob(Job *job, JobState final_state);
+    void removeJob(Job *job, JobState final_state,
+                   const char *cause = "cancelled");
     void scheduleEnforcement(Job *job);
     JobOutcome outcomeOf(const Job &job) const;
 
@@ -244,6 +256,7 @@ class QosFramework
     LocalAdmissionController lac_;
     Scheduler sched_;
     ResourceStealingEngine steal_;
+    TraceRecorder *trace_ = nullptr;
     Rng rng_;
 
     std::vector<std::unique_ptr<Job>> jobs_;

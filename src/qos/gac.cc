@@ -76,6 +76,13 @@ GlobalAdmissionController::submit(Job &job, Cycle now)
             best.accepted = true;
             best.node = node.id;
             best.local = node.lac->submit(job, now);
+            if (trace_ != nullptr && trace_->active()) {
+                TraceEvent e = traceEvent(TraceEventType::ArrivalPlaced,
+                                          now, job.id());
+                e.a = static_cast<std::uint64_t>(best.node);
+                e.b = static_cast<std::uint64_t>(job.id());
+                trace_->emit(e);
+            }
             return best;
         }
         bool better = !best.accepted;
@@ -98,12 +105,26 @@ GlobalAdmissionController::submit(Job &job, Cycle now)
             }
         }
     }
-    if (!best.accepted)
+    if (!best.accepted) {
+        if (trace_ != nullptr && trace_->active()) {
+            TraceEvent e = traceEvent(TraceEventType::JobRejected,
+                                      now, job.id());
+            e.setName("no node accepted");
+            trace_->emit(e);
+        }
         return best;
+    }
     // EarliestSlot / LeastLoaded: commit on the winning node.
     for (const auto &node : nodes_) {
         if (node.id == best.node) {
             best.local = node.lac->submit(job, now);
+            if (trace_ != nullptr && trace_->active()) {
+                TraceEvent e = traceEvent(TraceEventType::ArrivalPlaced,
+                                          now, job.id());
+                e.a = static_cast<std::uint64_t>(best.node);
+                e.b = static_cast<std::uint64_t>(job.id());
+                trace_->emit(e);
+            }
             return best;
         }
     }
@@ -121,8 +142,17 @@ GlobalAdmissionController::negotiateDeadline(const Job &job, Cycle now,
         const Cycle relaxed = static_cast<Cycle>(
             std::ceil(static_cast<double>(base) * f));
         for (const auto &node : nodes_) {
-            if (probeNode(node, job, now, relaxed).accepted)
+            if (probeNode(node, job, now, relaxed).accepted) {
+                if (trace_ != nullptr && trace_->active()) {
+                    TraceEvent e = traceEvent(
+                        TraceEventType::JobNegotiated, now, job.id());
+                    e.a = static_cast<std::uint64_t>(node.id);
+                    e.x = f;
+                    e.setName(job.benchmark());
+                    trace_->emit(e);
+                }
                 return relaxed;
+            }
         }
     }
     return std::nullopt;

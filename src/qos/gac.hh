@@ -82,6 +82,13 @@ class GlobalAdmissionController
 
     std::uint64_t probes() const { return probes_; }
 
+    /**
+     * Telemetry: ArrivalPlaced / JobRejected from submit() and
+     * JobNegotiated from successful negotiateDeadline() calls
+     * (global-admission side; use a driver recorder, producer 0).
+     */
+    void setTrace(TraceRecorder *trace) { trace_ = trace; }
+
   private:
     struct NodeEntry
     {
@@ -96,6 +103,7 @@ class GlobalAdmissionController
 
     GacPolicy policy_;
     std::vector<NodeEntry> nodes_;
+    TraceRecorder *trace_ = nullptr;
     mutable std::uint64_t probes_ = 0;
 };
 

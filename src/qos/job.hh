@@ -86,6 +86,12 @@ class Job
     bool stealingCancelled = false;
     /** Final duplicate-tag miss increase observed (Elastic jobs). */
     double observedMissIncrease = 0.0;
+    /**
+     * Cumulative miss increase at the moment stealing was (last)
+     * cancelled — the overshoot that tripped the X% bound. 0 if
+     * stealing was never cancelled.
+     */
+    double cancelMissIncrease = 0.0;
 
     /** Whether this job's mode reserves resources *right now* —
      * auto-downgraded jobs hold a (future) reservation but run

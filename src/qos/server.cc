@@ -22,6 +22,19 @@ CmpServer::node(NodeId n)
     return *nodes_[static_cast<std::size_t>(n)];
 }
 
+void
+CmpServer::attachTelemetry(TraceCollector &collector)
+{
+    cmpqos_assert(collector.producers() >= numNodes() + 1,
+                  "telemetry collector has %d producers, server needs "
+                  "%d (nodes + driver)",
+                  collector.producers(), numNodes() + 1);
+    trace_ = collector.driverRecorder();
+    for (int n = 0; n < numNodes(); ++n)
+        nodes_[static_cast<std::size_t>(n)]->setTrace(
+            collector.nodeRecorder(n));
+}
+
 ServerDecision
 CmpServer::submit(const JobRequest &request, InstCount instructions)
 {
@@ -68,6 +81,13 @@ CmpServer::submit(const JobRequest &request, InstCount instructions)
     }
     if (!best.accepted) {
         ++rejected_;
+        if (trace_ != nullptr && trace_->active()) {
+            TraceEvent e =
+                traceEvent(TraceEventType::JobRejected,
+                           nodes_.front()->simulation().now());
+            e.setName("no node accepted");
+            trace_->emit(e);
+        }
         return best;
     }
     Job *job = nodes_[static_cast<std::size_t>(best.node)]->submitJob(
@@ -80,6 +100,15 @@ CmpServer::submit(const JobRequest &request, InstCount instructions)
     ++accepted_;
     ++placed_[static_cast<std::size_t>(best.node)];
     best.job = job;
+    if (trace_ != nullptr && trace_->active()) {
+        const auto n = static_cast<std::size_t>(best.node);
+        TraceEvent e = traceEvent(TraceEventType::ArrivalPlaced,
+                                  nodes_[n]->simulation().now(),
+                                  job->id());
+        e.a = static_cast<std::uint64_t>(best.node);
+        e.b = static_cast<std::uint64_t>(job->id());
+        trace_->emit(e);
+    }
     return best;
 }
 
@@ -114,6 +143,18 @@ CmpServer::submitNegotiated(const JobRequest &request,
                       "negotiated probe accepted but submit rejected");
         d.negotiated = true;
         ++negotiated_;
+        if (trace_ != nullptr && trace_->active()) {
+            TraceEvent e = traceEvent(
+                TraceEventType::JobNegotiated,
+                nodes_[static_cast<std::size_t>(d.node)]
+                    ->simulation()
+                    .now(),
+                d.job->id());
+            e.a = static_cast<std::uint64_t>(d.node);
+            e.x = f;
+            e.setName(request.benchmark);
+            trace_->emit(e);
+        }
         return d;
     }
     return d;

@@ -22,6 +22,7 @@
 
 #include "qos/framework.hh"
 #include "qos/gac.hh"
+#include "telemetry/collector.hh"
 
 namespace cmpqos
 {
@@ -84,9 +85,19 @@ class CmpServer
     /** True iff every accepted Strict/Elastic job met its deadline. */
     bool allQosDeadlinesMet() const;
 
+    /**
+     * Telemetry: producer 0 takes the server's global-admission
+     * events (placement, rejection, negotiation), producer n+1 node
+     * n's framework events. Nodes drain sequentially here, so the
+     * caller only needs collector.drain()/finish() after
+     * runToCompletion(). @p collector is not owned.
+     */
+    void attachTelemetry(TraceCollector &collector);
+
   private:
     std::vector<std::unique_ptr<QosFramework>> nodes_;
     std::vector<std::size_t> placed_;
+    TraceRecorder *trace_ = nullptr;
     GacPolicy policy_;
     std::uint64_t probes_ = 0;
     std::uint64_t accepted_ = 0;

@@ -95,12 +95,29 @@ ResourceStealingEngine::repartition(Entry &e, CoreId core)
 
     // Has stealing pushed the job past its slack?
     if (e.stolen > 0 && dup->exceedsSlack(e.slack)) {
-        // Cancel: return all stolen ways at once.
+        // Cancel: return all stolen ways at once. Record the
+        // cumulative miss increase that tripped the X% bound.
+        const unsigned returned = e.stolen;
         sys_.l2().setTargetWays(core, e.baselineWays);
         e.stolen = 0;
         e.cancelled = true;
         ++cancels_;
         job.stealingCancelled = true;
+        job.cancelMissIncrease = dup->missIncrease();
+        if (trace_ != nullptr && trace_->active()) {
+            const Cycle t = traceClock_ != nullptr ? *traceClock_ : 0;
+            TraceEvent r =
+                traceEvent(TraceEventType::WayReturned, t, job.id());
+            r.a = static_cast<std::uint64_t>(core);
+            r.b = returned;
+            trace_->emit(r);
+            TraceEvent c =
+                traceEvent(TraceEventType::StealCancelled, t, job.id());
+            c.a = static_cast<std::uint64_t>(core);
+            c.b = job.exec()->executed();
+            c.x = job.cancelMissIncrease;
+            trace_->emit(c);
+        }
         return;
     }
     if (e.cancelled) {
@@ -124,6 +141,15 @@ ResourceStealingEngine::repartition(Entry &e, CoreId core)
         ++e.stolen;
         ++steals_;
         job.stolenWays = std::max(job.stolenWays, e.stolen);
+        if (trace_ != nullptr && trace_->active()) {
+            TraceEvent s = traceEvent(
+                TraceEventType::WayStolen,
+                traceClock_ != nullptr ? *traceClock_ : 0, job.id());
+            s.a = static_cast<std::uint64_t>(core);
+            s.b = e.stolen;
+            s.x = dup->missIncrease();
+            trace_->emit(s);
+        }
     }
 }
 

@@ -21,6 +21,7 @@
 #include "common/types.hh"
 #include "qos/job.hh"
 #include "sim/cmp_system.hh"
+#include "telemetry/recorder.hh"
 
 namespace cmpqos
 {
@@ -95,6 +96,18 @@ class ResourceStealingEngine
     /** Ways currently stolen from @p job (0 if untracked). */
     unsigned stolenWays(const Job &job) const;
 
+    /**
+     * Telemetry: WayStolen / WayReturned / StealCancelled events.
+     * The engine has no clock of its own; @p clock points at the
+     * owning Simulation's virtual time (Simulation::clockPtr()).
+     */
+    void
+    setTrace(TraceRecorder *trace, const Cycle *clock)
+    {
+        trace_ = trace;
+        traceClock_ = clock;
+    }
+
   private:
     struct Entry
     {
@@ -110,6 +123,8 @@ class ResourceStealingEngine
 
     CmpSystem &sys_;
     StealingConfig config_;
+    TraceRecorder *trace_ = nullptr;
+    const Cycle *traceClock_ = nullptr;
     std::unordered_map<JobId, Entry> entries_;
     std::uint64_t steals_ = 0;
     std::uint64_t cancels_ = 0;

@@ -37,6 +37,12 @@ Simulation::startJobOn(CoreId core, JobExecution *job)
         cpu.setTime(t_now);
     }
     sys_.enqueueJob(core, job);
+    if (trace_ != nullptr && trace_->active()) {
+        TraceEvent e =
+            traceEvent(TraceEventType::JobStarted, now_, job->id());
+        e.a = static_cast<std::uint64_t>(core);
+        trace_->emit(e);
+    }
 }
 
 CoreId

@@ -21,6 +21,7 @@
 #include "common/types.hh"
 #include "sim/cmp_system.hh"
 #include "sim/event_queue.hh"
+#include "telemetry/recorder.hh"
 
 namespace cmpqos
 {
@@ -41,6 +42,15 @@ class Simulation
 
     /** Current global simulated time in cycles. */
     Cycle now() const { return now_; }
+
+    /**
+     * Stable address of the virtual clock, for clock-less components
+     * (partitioned cache, stealing engine) stamping trace events.
+     */
+    const Cycle *clockPtr() const { return &now_; }
+
+    /** Telemetry: emit JobStarted when an execution lands on a core. */
+    void setTrace(TraceRecorder *trace) { trace_ = trace; }
 
     /** Schedule a callback at absolute cycle @p when. */
     void schedule(Cycle when, EventQueue::Callback fn,
@@ -83,6 +93,7 @@ class Simulation
 
     CmpSystem &sys_;
     EventQueue events_;
+    TraceRecorder *trace_ = nullptr;
     Cycle now_ = 0;
     bool stop_ = false;
     CompletionHandler onComplete_;

@@ -1,0 +1,77 @@
+#include "collector.hh"
+
+#include "common/logging.hh"
+
+namespace cmpqos
+{
+
+TraceCollector::TraceCollector(int producers, const TelemetryConfig &config)
+{
+    cmpqos_assert(producers > 0, "collector needs at least one producer");
+    enabled_.store(config.enabled, std::memory_order_relaxed);
+    recorders_.reserve(static_cast<std::size_t>(producers));
+    for (int p = 0; p < producers; ++p)
+        recorders_.push_back(std::make_unique<TraceRecorder>(
+            static_cast<NodeId>(p - 1), config.ringCapacity, &enabled_));
+}
+
+TraceRecorder *
+TraceCollector::nodeRecorder(NodeId n)
+{
+    cmpqos_assert(n >= 0 && n + 1 < producers(),
+                  "no recorder for node %d (have %d producers)", n,
+                  producers());
+    return recorders_[static_cast<std::size_t>(n) + 1].get();
+}
+
+void
+TraceCollector::addSink(TraceSink *sink)
+{
+    cmpqos_assert(sink != nullptr, "null sink");
+    sinks_.push_back(sink);
+}
+
+std::size_t
+TraceCollector::drain()
+{
+    std::size_t delivered = 0;
+    TraceEvent e;
+    for (auto &rec : recorders_) {
+        while (rec->ring().tryPop(e)) {
+            for (TraceSink *sink : sinks_)
+                sink->consume(e);
+            ++delivered;
+        }
+    }
+    delivered_ += delivered;
+    return delivered;
+}
+
+void
+TraceCollector::finish(std::uint64_t seed, unsigned threads,
+                       double wall_seconds)
+{
+    cmpqos_assert(!finished_, "collector finished twice");
+    finished_ = true;
+    drain();
+    TraceMeta meta;
+    meta.seed = seed;
+    meta.nodes = producers() - 1;
+    meta.threads = threads;
+    meta.drops = totalDrops();
+    meta.events = delivered_;
+    meta.wallSeconds = wall_seconds;
+    for (TraceSink *sink : sinks_)
+        sink->close(meta);
+}
+
+std::uint64_t
+TraceCollector::totalDrops() const
+{
+    std::uint64_t drops = 0;
+    for (const auto &rec : recorders_)
+        drops += rec->drops();
+    return drops;
+}
+
+} // namespace cmpqos

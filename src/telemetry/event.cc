@@ -1,0 +1,72 @@
+#include "event.hh"
+
+#include "common/logging.hh"
+
+namespace cmpqos
+{
+
+namespace
+{
+
+struct TypeRow
+{
+    const char *name;
+    TracePayloadKeys keys;
+};
+
+// Indexed by TraceEventType. Keys name the JSONL fields the generic
+// payload slots map onto, so exporter output and the dump CLI agree.
+const TypeRow rows[numTraceEventTypes] = {
+    {"job-submitted", {"tier", "instructions", "deadline_factor",
+                       "benchmark"}},
+    {"job-admitted", {"slot_start", "slot_end", "deadline", "benchmark"}},
+    {"job-rejected", {nullptr, nullptr, nullptr, "reason"}},
+    // Payload keys must not collide with the top-level JSONL fields
+    // (ev/t/node/job), hence "target_node" for placement targets.
+    {"job-negotiated", {"target_node", nullptr, "factor", "benchmark"}},
+    {"arrival-placed", {"target_node", "local_job", nullptr, nullptr}},
+    {"job-started", {"core", nullptr, nullptr, nullptr}},
+    {"mode-downgrade", {"from", "to", "slack", "cause"}},
+    {"mode-promoted", {"core", nullptr, nullptr, nullptr}},
+    {"way-stolen", {"core", "stolen_total", "miss_increase", nullptr}},
+    {"way-returned", {"core", "ways_returned", nullptr, nullptr}},
+    {"steal-cancelled", {"core", "executed", "miss_increase", nullptr}},
+    {"repartition", {"core", "new_ways", "old_ways", nullptr}},
+    {"deadline-hit", {"deadline", "mode", "wall_clock", nullptr}},
+    {"deadline-miss", {"deadline", "mode", "wall_clock", nullptr}},
+    {"job-terminated", {nullptr, nullptr, nullptr, "cause"}},
+    {"quantum-begin", {"target", nullptr, nullptr, nullptr}},
+    {"quantum-end", {"target", nullptr, nullptr, nullptr}},
+};
+
+} // namespace
+
+const char *
+traceEventName(TraceEventType t)
+{
+    const auto i = static_cast<std::size_t>(t);
+    cmpqos_assert(i < numTraceEventTypes, "bad event type %zu", i);
+    return rows[i].name;
+}
+
+bool
+traceEventFromName(std::string_view name, TraceEventType &out)
+{
+    for (std::size_t i = 0; i < numTraceEventTypes; ++i) {
+        if (name == rows[i].name) {
+            out = static_cast<TraceEventType>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+const TracePayloadKeys &
+payloadKeys(TraceEventType t)
+{
+    const auto i = static_cast<std::size_t>(t);
+    cmpqos_assert(i < numTraceEventTypes, "bad event type %zu", i);
+    return rows[i].keys;
+}
+
+} // namespace cmpqos

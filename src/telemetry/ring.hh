@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Fixed-capacity single-producer / single-consumer ring buffer for
+ * trace events.
+ *
+ * The producer side is the hot path (a worker thread advancing a node
+ * co-simulation); it must never allocate, lock, or wait. tryPush is a
+ * bounds check plus a struct copy plus one release store; when the
+ * ring is full the event is simply refused and the caller counts a
+ * drop. The consumer side is the TraceSink drain running at quantum
+ * barriers on the driver thread.
+ *
+ * "Single producer" means one thread at a time with a happens-before
+ * edge at every ownership handoff — exactly what the cluster engine's
+ * barrier-stepped loop guarantees for each node's worker (see
+ * node_worker.hh). The acquire/release pairs below make the ring safe
+ * even when producer and consumer genuinely run concurrently, which
+ * the telemetry tests exercise under TSan.
+ */
+
+#ifndef CMPQOS_TELEMETRY_RING_HH
+#define CMPQOS_TELEMETRY_RING_HH
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "telemetry/event.hh"
+
+namespace cmpqos
+{
+
+/**
+ * Lock-free SPSC ring of TraceEvents.
+ */
+class SpscEventRing
+{
+  public:
+    /** @param capacity slots; rounded up to a power of two, >= 2. */
+    explicit SpscEventRing(std::size_t capacity)
+    {
+        std::size_t cap = 2;
+        while (cap < capacity)
+            cap <<= 1;
+        buf_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    std::size_t capacity() const { return buf_.size(); }
+
+    /**
+     * Producer: append @p e unless the ring is full.
+     * @return false (event refused, caller counts a drop) when full.
+     */
+    bool
+    tryPush(const TraceEvent &e)
+    {
+        const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+        const std::uint64_t head = head_.load(std::memory_order_acquire);
+        if (tail - head >= buf_.size())
+            return false;
+        buf_[tail & mask_] = e;
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /**
+     * Consumer: pop the oldest event into @p out.
+     * @return false when the ring is empty.
+     */
+    bool
+    tryPop(TraceEvent &out)
+    {
+        const std::uint64_t head = head_.load(std::memory_order_relaxed);
+        const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+        if (head == tail)
+            return false;
+        out = buf_[head & mask_];
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Events currently buffered (approximate under concurrency). */
+    std::size_t
+    size() const
+    {
+        const std::uint64_t head = head_.load(std::memory_order_acquire);
+        const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+        return static_cast<std::size_t>(tail - head);
+    }
+
+  private:
+    std::vector<TraceEvent> buf_;
+    std::size_t mask_ = 0;
+    /** Consumer cursor (padded away from the producer's). */
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+    /** Producer cursor. */
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_TELEMETRY_RING_HH

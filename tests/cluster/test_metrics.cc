@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "cluster/engine.hh"
@@ -45,13 +46,44 @@ TEST(ClusterMetrics, AggregateSumsNodeCounters)
     EXPECT_DOUBLE_EQ(m.byMode[0].hitRate(), 1.0);
 }
 
-TEST(ClusterMetrics, ModeTallyHitRateDefaultsToOne)
+TEST(ClusterMetrics, ModeTallyHitRateUndefinedWithoutCompletions)
 {
+    // A mode that never completed a job has no hit rate: reporting
+    // 1.0 would claim a perfect record for work that never happened.
     ModeTally t;
-    EXPECT_DOUBLE_EQ(t.hitRate(), 1.0);
+    EXPECT_FALSE(t.hasHitRate());
+    EXPECT_TRUE(std::isnan(t.hitRate()));
     t.completed = 4;
     t.deadlineHits = 1;
+    EXPECT_TRUE(t.hasHitRate());
     EXPECT_DOUBLE_EQ(t.hitRate(), 0.25);
+}
+
+TEST(MetricsExporter, UndefinedHitRatesSkippedInExports)
+{
+    // sampleNode only completes Strict jobs: elastic/opportunistic
+    // rates are undefined and must not appear as numbers anywhere.
+    ClusterMetrics m;
+    MetricsExporter::aggregate(m, {sampleNode(0, 4)});
+
+    std::ostringstream js;
+    MetricsExporter::writeJsonl(m, js);
+    EXPECT_NE(js.str().find("\"strict\":1.000000"), std::string::npos);
+    EXPECT_EQ(js.str().find("\"elastic\":"), std::string::npos);
+    EXPECT_EQ(js.str().find("nan"), std::string::npos);
+
+    std::ostringstream cs;
+    MetricsExporter::writeCsv(m, cs);
+    std::istringstream in(cs.str());
+    std::string header, row;
+    ASSERT_TRUE(std::getline(in, header));
+    ASSERT_TRUE(std::getline(in, row));
+    EXPECT_NE(header.find("strict_hit_rate"), std::string::npos);
+    EXPECT_NE(header.find("opportunistic_hit_rate"), std::string::npos);
+    // Undefined cells are empty, not "nan": the row ends with the
+    // empty hit-rate cell of a mode that completed nothing.
+    EXPECT_EQ(row.find("nan"), std::string::npos);
+    EXPECT_EQ(row.substr(row.size() - 5), ",0,0,");
 }
 
 TEST(ClusterMetrics, AcceptRateAndThroughput)

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "qos/framework.hh"
 #include "qos/scheduler.hh"
 #include "qos/stealing.hh"
 #include "sim/simulation.hh"
@@ -139,6 +140,64 @@ TEST_F(StealFixture, CancelsForSensitiveVictim)
     EXPECT_GE(engine.totalCancels(), 1u);
     // All ways returned on cancel.
     EXPECT_EQ(sys.l2().targetWays(j->assignedCore), 7u);
+}
+
+TEST_F(StealFixture, CancellationFiresAtExactInterval)
+{
+    // The miss sequence here is fully determined (bzip2 generator,
+    // exec seed 10, 2% slack, 500K-instruction repartition
+    // intervals), so the checkpoint at which the cumulative X% bound
+    // trips is a fixed point of the model — pin it. Cancellation may
+    // only fire on the interval grid, and the overshoot recorded at
+    // that moment must actually exceed the slack.
+    StealingConfig cfg = makeStealConfig();
+    cfg.permanentCancel = true;
+    ResourceStealingEngine engine(sys, cfg);
+    Job *j = makeElastic("bzip2", 0.02, 20'000'000);
+
+    InstCount cancel_exec = 0;
+    sim.setQuantumHook([&](CoreId c, JobExecution *e) {
+        const bool was = j->stealingCancelled;
+        engine.onQuantum(c, e);
+        if (!was && j->stealingCancelled)
+            cancel_exec = j->exec()->executed();
+    });
+    sched.startReserved(*j);
+    engine.activate(*j);
+    sim.run();
+    engine.deactivate(*j);
+
+    ASSERT_TRUE(j->stealingCancelled);
+    EXPECT_EQ(cancel_exec % cfg.intervalInstructions, 0u);
+    EXPECT_EQ(cancel_exec, 1'500'000u); // the 3rd checkpoint
+    // The recorded overshoot is the value that tripped the bound.
+    EXPECT_GT(j->cancelMissIncrease, 0.02);
+    EXPECT_LT(j->cancelMissIncrease, 0.02 + 0.05);
+}
+
+TEST(StealingOutcome, CancelOvershootSurfacesInJobOutcome)
+{
+    // The overshoot recorded at cancellation must ride through to the
+    // per-job result row.
+    FrameworkConfig fc;
+    fc.cmp.chunkInstructions = 20'000;
+    fc.stealing.intervalInstructions = 500'000;
+    fc.stealing.permanentCancel = true;
+    QosFramework fw(fc);
+
+    WorkloadSpec spec;
+    spec.name = "cancel-overshoot";
+    JobRequest r;
+    r.benchmark = "bzip2";
+    r.mode = ModeSpec::elastic(0.02);
+    r.deadlineFactor = 3.0;
+    spec.jobs = {r};
+    spec.jobInstructions = 20'000'000;
+
+    const WorkloadResult res = fw.runWorkload(spec);
+    ASSERT_EQ(res.jobs.size(), 1u);
+    EXPECT_TRUE(res.jobs[0].stealingCancelled);
+    EXPECT_GT(res.jobs[0].cancelMissIncrease, 0.02);
 }
 
 TEST_F(StealFixture, OscillatingStealHoldsTheBound)

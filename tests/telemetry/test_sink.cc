@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Exporter escaping tests: hostile benchmark / reason strings (quotes,
+ * backslashes, control characters) must not corrupt the JSONL or
+ * Chrome streams. Includes a deterministic fuzz loop that round-trips
+ * random hostile names through formatLine and a JSON string decoder.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "telemetry/sink.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+/**
+ * Decode one JSON string literal starting at `pos` (the opening
+ * quote) of `s`; mirrors what any conforming parser does.
+ * @return false on malformed input.
+ */
+bool
+decodeJsonString(const std::string &s, std::size_t pos, std::string &out)
+{
+    if (pos >= s.size() || s[pos] != '"')
+        return false;
+    ++pos;
+    out.clear();
+    while (pos < s.size() && s[pos] != '"') {
+        char c = s[pos];
+        if (static_cast<unsigned char>(c) < 0x20)
+            return false; // raw control character: invalid JSON
+        if (c == '\\') {
+            if (++pos >= s.size())
+                return false;
+            switch (s[pos]) {
+              case '"': c = '"'; break;
+              case '\\': c = '\\'; break;
+              case '/': c = '/'; break;
+              case 'b': c = '\b'; break;
+              case 'f': c = '\f'; break;
+              case 'n': c = '\n'; break;
+              case 'r': c = '\r'; break;
+              case 't': c = '\t'; break;
+              case 'u':
+                if (pos + 4 >= s.size())
+                    return false;
+                c = static_cast<char>(std::strtoul(
+                    s.substr(pos + 1, 4).c_str(), nullptr, 16));
+                pos += 4;
+                break;
+              default: return false;
+            }
+        }
+        out += c;
+        ++pos;
+    }
+    return pos < s.size();
+}
+
+/** Extract and decode the value of `"key":"..."` from a JSON line. */
+bool
+extractString(const std::string &line, const std::string &key,
+              std::string &out)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return false;
+    return decodeJsonString(line, at + needle.size(), out);
+}
+
+TraceEvent
+submitted(const std::string &name)
+{
+    TraceEvent e = traceEvent(TraceEventType::JobSubmitted, 100, 1);
+    e.setName(name);
+    return e;
+}
+
+TEST(EscapeJson, HandlesEveryEscapeClass)
+{
+    EXPECT_EQ(escapeJson("plain"), "plain");
+    EXPECT_EQ(escapeJson("a\"b"), "a\\\"b");
+    EXPECT_EQ(escapeJson("a\\b"), "a\\\\b");
+    EXPECT_EQ(escapeJson("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+    EXPECT_EQ(escapeJson("\b\f"), "\\b\\f");
+    EXPECT_EQ(escapeJson(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+    // Multi-byte UTF-8 passes through untouched.
+    EXPECT_EQ(escapeJson("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonlTraceSink, HostileNameStaysOnOneValidLine)
+{
+    const std::string hostile = "evil\"bench\\\nname\ttab";
+    const std::string line =
+        JsonlTraceSink::formatLine(submitted(hostile));
+    // One line, no raw control bytes anywhere.
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    for (const char c : line)
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20);
+    std::string decoded;
+    ASSERT_TRUE(extractString(line, "benchmark", decoded));
+    EXPECT_EQ(decoded, hostile);
+}
+
+TEST(JsonlTraceSink, FuzzRoundTripsHostileNames)
+{
+    // Deterministic fuzz: names drawn from an alphabet biased toward
+    // everything that can break a JSON encoder. Each must round-trip
+    // through formatLine and a conforming string decoder.
+    const std::string alphabet =
+        "\"\\\x01\x02\x08\x09\x0a\x0d\x1f{}[]:,/ abcZ\x7f";
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+    auto next = [&]() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+    for (int round = 0; round < 500; ++round) {
+        std::string name;
+        const std::size_t len = next() % 40;
+        for (std::size_t i = 0; i < len; ++i)
+            name += alphabet[next() % alphabet.size()];
+        const std::string line =
+            JsonlTraceSink::formatLine(submitted(name));
+        ASSERT_EQ(line.front(), '{');
+        ASSERT_EQ(line.back(), '}');
+        for (const char c : line)
+            ASSERT_GE(static_cast<unsigned char>(c), 0x20)
+                << "raw control byte in: " << line;
+        std::string decoded;
+        ASSERT_TRUE(extractString(line, "benchmark", decoded))
+            << "unparseable line: " << line;
+        ASSERT_EQ(decoded, name);
+    }
+}
+
+TEST(JsonlTraceSink, ReasonStringsEscapedToo)
+{
+    TraceEvent e = traceEvent(TraceEventType::JobRejected, 5, 2);
+    e.setName("quota \"gold\" exceeded\n");
+    const std::string line = JsonlTraceSink::formatLine(e);
+    std::string decoded;
+    ASSERT_TRUE(extractString(line, "reason", decoded));
+    EXPECT_EQ(decoded, "quota \"gold\" exceeded\n");
+}
+
+TEST(ChromeTraceSink, HostileNamesDoNotCorruptStream)
+{
+    std::ostringstream os;
+    ChromeTraceSink sink(os);
+    sink.consume(submitted("a\"b\\c\nd"));
+    TraceEvent done = traceEvent(TraceEventType::DeadlineHit, 900, 1);
+    done.node = 0;
+    sink.consume(done);
+    TraceMeta meta;
+    meta.nodes = 1;
+    sink.close(meta);
+
+    const std::string out = os.str();
+    // Raw newlines separate entries; no other control bytes may
+    // appear, and the hostile payload must be escaped in place.
+    for (const char c : out) {
+        if (c != '\n') {
+            EXPECT_GE(static_cast<unsigned char>(c), 0x20);
+        }
+    }
+    EXPECT_NE(out.find("a\\\"b\\\\c\\nd"), std::string::npos);
+    EXPECT_EQ(out.front(), '{');
+    EXPECT_EQ(out.back(), '\n');
+    EXPECT_NE(out.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(out.find("\"otherData\":{"), std::string::npos);
+}
+
+TEST(TraceEvent, SetNameTruncatesWithoutOverflow)
+{
+    TraceEvent e;
+    e.setName(std::string(200, 'x'));
+    EXPECT_EQ(std::string(e.name).size(), sizeof(e.name) - 1);
+    e.setName("short");
+    EXPECT_STREQ(e.name, "short");
+}
+
+} // namespace
+} // namespace cmpqos

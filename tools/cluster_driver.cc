@@ -8,16 +8,20 @@
  *   cluster_driver --nodes 8 --threads 4 --jobs 200 --seed 7
  *   cluster_driver --nodes 4 --duration 50000000 --mean-interarrival 250000
  *   cluster_driver --trace arrivals.txt --jsonl run.jsonl --csv run.csv
+ *   cluster_driver --jobs 100 --trace-out run-trace.jsonl \
+ *                  --trace-chrome run-trace.json
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 
 #include "cluster/engine.hh"
 #include "common/logging.hh"
+#include "telemetry/collector.hh"
 
 using namespace cmpqos;
 
@@ -43,7 +47,12 @@ usage(const char *argv0)
         "  --seed S               cluster seed (default 1)\n"
         "  --trace FILE           replay arrivals from FILE instead of Poisson\n"
         "  --jsonl FILE           append the metrics snapshot as JSONL\n"
-        "  --csv FILE             write the per-node table as CSV\n",
+        "  --csv FILE             write the per-node table as CSV\n"
+        "  --trace-out FILE       write the event trace as JSONL (one event\n"
+        "                         per line; inspect with telemetry_dump)\n"
+        "  --trace-chrome FILE    write the event trace in Chrome trace-event\n"
+        "                         JSON (open in chrome://tracing or Perfetto)\n"
+        "  --trace-capacity N     per-producer ring slots (default 32768)\n",
         argv0);
 }
 
@@ -72,6 +81,8 @@ main(int argc, char **argv)
     InstCount instructions = 2'000'000;
     Cycle duration = 0;
     std::string trace_path, jsonl_path, csv_path;
+    std::string trace_out_path, trace_chrome_path;
+    TelemetryConfig telemetry_config;
 
     auto value = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -110,6 +121,13 @@ main(int argc, char **argv)
             jsonl_path = value(i);
         } else if (arg == "--csv") {
             csv_path = value(i);
+        } else if (arg == "--trace-out") {
+            trace_out_path = value(i);
+        } else if (arg == "--trace-chrome") {
+            trace_chrome_path = value(i);
+        } else if (arg == "--trace-capacity") {
+            telemetry_config.ringCapacity =
+                std::strtoull(value(i), nullptr, 10);
         } else {
             usage(argv[0]);
             cmpqos_fatal("unknown option '%s'", arg.c_str());
@@ -127,6 +145,36 @@ main(int argc, char **argv)
                          "--duration");
         arrivals = std::make_unique<PoissonArrivalProcess>(
             mean_interarrival, mix, config.seed ^ 0xa11a1ULL, jobs);
+    }
+
+    // Telemetry: one collector for the run, sinks opened up front so
+    // a failure to open aborts before any simulation work happens.
+    std::unique_ptr<TraceCollector> collector;
+    std::ofstream trace_out_file, trace_chrome_file;
+    std::unique_ptr<JsonlTraceSink> jsonl_sink;
+    std::unique_ptr<ChromeTraceSink> chrome_sink;
+    if (!trace_out_path.empty() || !trace_chrome_path.empty()) {
+        collector = std::make_unique<TraceCollector>(config.nodes + 1,
+                                                     telemetry_config);
+        if (!trace_out_path.empty()) {
+            trace_out_file.open(trace_out_path);
+            if (!trace_out_file)
+                cmpqos_fatal("cannot open trace file '%s'",
+                             trace_out_path.c_str());
+            jsonl_sink =
+                std::make_unique<JsonlTraceSink>(trace_out_file);
+            collector->addSink(jsonl_sink.get());
+        }
+        if (!trace_chrome_path.empty()) {
+            trace_chrome_file.open(trace_chrome_path);
+            if (!trace_chrome_file)
+                cmpqos_fatal("cannot open trace file '%s'",
+                             trace_chrome_path.c_str());
+            chrome_sink =
+                std::make_unique<ChromeTraceSink>(trace_chrome_file);
+            collector->addSink(chrome_sink.get());
+        }
+        config.telemetry = collector.get();
     }
 
     ClusterEngine engine(config);
@@ -154,9 +202,17 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(m.acceptedByTier[2]));
     std::printf("%-26s %llu\n", "completed",
                 static_cast<unsigned long long>(m.completed));
-    std::printf("%-26s strict %.3f / elastic %.3f / opportunistic %.3f\n",
-                "deadline hit rate", m.byMode[0].hitRate(),
-                m.byMode[1].hitRate(), m.byMode[2].hitRate());
+    // Modes that never completed a job have no hit rate (NaN).
+    auto rate = [](const ModeTally &t) {
+        if (!t.hasHitRate())
+            return std::string("n/a");
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%.3f", t.hitRate());
+        return std::string(buf);
+    };
+    std::printf("%-26s strict %s / elastic %s / opportunistic %s\n",
+                "deadline hit rate", rate(m.byMode[0]).c_str(),
+                rate(m.byMode[1]).c_str(), rate(m.byMode[2]).c_str());
     std::printf("%-26s %.1fM cycles\n", "cluster virtual time",
                 static_cast<double>(m.virtualTime) / 1e6);
     std::printf("%-26s %.3fs wall (%.1f jobs/s)\n", "host time",
@@ -173,5 +229,15 @@ main(int argc, char **argv)
         MetricsExporter::writeJsonlFile(m, jsonl_path);
     if (!csv_path.empty())
         MetricsExporter::writeCsvFile(m, csv_path);
+
+    if (collector != nullptr) {
+        collector->finish(config.seed, engine.numThreads(),
+                          m.wallSeconds);
+        std::printf("%-26s %llu events (%llu dropped)\n", "trace",
+                    static_cast<unsigned long long>(
+                        collector->eventsDelivered()),
+                    static_cast<unsigned long long>(
+                        collector->totalDrops()));
+    }
     return 0;
 }

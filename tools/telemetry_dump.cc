@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Trace inspection CLI for JSONL captures written by the telemetry
+ * subsystem (cluster_driver --trace-out, or any JsonlTraceSink).
+ *
+ * Reconstructs per-job timelines from the two-level id scheme the
+ * capture uses: driver-side events (node -1) carry the global arrival
+ * sequence number as their job id, and each accepted arrival's
+ * ArrivalPlaced event records which node took it and under which
+ * node-local JobId — the key the node-side lifecycle events
+ * (admitted, started, stolen, deadline outcome) are filed under.
+ *
+ * Usage:
+ *   telemetry_dump trace.jsonl               # run summary
+ *   telemetry_dump trace.jsonl --jobs        # every job timeline
+ *   telemetry_dump trace.jsonl --job 17      # one arrival's timeline
+ *   telemetry_dump trace.jsonl --steals      # steal/cancel histories
+ *   telemetry_dump trace.jsonl --rejections  # rejection reasons
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "telemetry/event.hh"
+
+using namespace cmpqos;
+
+namespace
+{
+
+/** One parsed JSONL line: flat string->raw-value map. */
+struct Record
+{
+    std::map<std::string, std::string> fields;
+    TraceEventType type = TraceEventType::JobSubmitted;
+    bool isMeta = false;
+    long long node = -1;
+    long long job = -1;
+    unsigned long long time = 0;
+
+    const std::string &
+    field(const std::string &key) const
+    {
+        static const std::string empty;
+        auto it = fields.find(key);
+        return it == fields.end() ? empty : it->second;
+    }
+};
+
+/**
+ * Minimal parser for the flat JSON objects the JsonlTraceSink emits:
+ * string values (with standard escapes) and bare number tokens only.
+ * @return false on malformed input.
+ */
+bool
+parseLine(const std::string &line, Record &out)
+{
+    std::size_t i = 0;
+    auto skipWs = [&]() {
+        while (i < line.size() &&
+               (line[i] == ' ' || line[i] == '\t'))
+            ++i;
+    };
+    auto parseString = [&](std::string &s) -> bool {
+        if (i >= line.size() || line[i] != '"')
+            return false;
+        ++i;
+        s.clear();
+        while (i < line.size() && line[i] != '"') {
+            char c = line[i];
+            if (c == '\\') {
+                if (++i >= line.size())
+                    return false;
+                switch (line[i]) {
+                  case '"': c = '"'; break;
+                  case '\\': c = '\\'; break;
+                  case '/': c = '/'; break;
+                  case 'b': c = '\b'; break;
+                  case 'f': c = '\f'; break;
+                  case 'n': c = '\n'; break;
+                  case 'r': c = '\r'; break;
+                  case 't': c = '\t'; break;
+                  case 'u': {
+                    if (i + 4 >= line.size())
+                        return false;
+                    c = static_cast<char>(std::strtoul(
+                        line.substr(i + 1, 4).c_str(), nullptr, 16));
+                    i += 4;
+                    break;
+                  }
+                  default: return false;
+                }
+            }
+            s += c;
+            ++i;
+        }
+        if (i >= line.size())
+            return false;
+        ++i; // closing quote
+        return true;
+    };
+
+    skipWs();
+    if (i >= line.size() || line[i] != '{')
+        return false;
+    ++i;
+    out.fields.clear();
+    while (true) {
+        skipWs();
+        if (i < line.size() && line[i] == '}')
+            break;
+        std::string key, value;
+        if (!parseString(key))
+            return false;
+        skipWs();
+        if (i >= line.size() || line[i] != ':')
+            return false;
+        ++i;
+        skipWs();
+        if (i < line.size() && line[i] == '"') {
+            if (!parseString(value))
+                return false;
+        } else {
+            const std::size_t start = i;
+            while (i < line.size() && line[i] != ',' && line[i] != '}')
+                ++i;
+            value = line.substr(start, i - start);
+            while (!value.empty() && value.back() == ' ')
+                value.pop_back();
+        }
+        out.fields[key] = value;
+        skipWs();
+        if (i < line.size() && line[i] == ',') {
+            ++i;
+            continue;
+        }
+        break;
+    }
+
+    const std::string &ev = out.field("ev");
+    if (ev == "meta") {
+        out.isMeta = true;
+        return true;
+    }
+    if (!traceEventFromName(ev, out.type))
+        return false;
+    out.node = std::atoll(out.field("node").c_str());
+    out.job = std::atoll(out.field("job").c_str());
+    out.time = std::strtoull(out.field("t").c_str(), nullptr, 10);
+    return true;
+}
+
+/** Cycles at the simulated 2GHz clock, human-scaled. */
+std::string
+cyc(unsigned long long t)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.2fM", static_cast<double>(t) / 1e6);
+    return buf;
+}
+
+struct Capture
+{
+    std::vector<Record> events;
+    Record meta;
+    bool hasMeta = false;
+    /** Driver arrival seq -> indices of its driver-side events. */
+    std::map<long long, std::vector<std::size_t>> bySeq;
+    /** (node, local job) -> indices of node-side events. */
+    std::map<std::pair<long long, long long>, std::vector<std::size_t>>
+        byNodeJob;
+    /** Driver arrival seq -> (node, local job), from ArrivalPlaced. */
+    std::map<long long, std::pair<long long, long long>> placement;
+};
+
+Capture
+load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        cmpqos_fatal("cannot open trace '%s'", path.c_str());
+    Capture cap;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        Record r;
+        if (!parseLine(line, r)) {
+            std::fprintf(stderr, "warning: skipping malformed line %zu\n",
+                         lineno);
+            continue;
+        }
+        if (r.isMeta) {
+            cap.meta = r;
+            cap.hasMeta = true;
+            continue;
+        }
+        const std::size_t idx = cap.events.size();
+        if (r.node < 0) {
+            cap.bySeq[r.job].push_back(idx);
+            if (r.type == TraceEventType::ArrivalPlaced)
+                cap.placement[r.job] = {
+                    std::atoll(r.field("target_node").c_str()),
+                    std::atoll(r.field("local_job").c_str())};
+        } else {
+            cap.byNodeJob[{r.node, r.job}].push_back(idx);
+        }
+        cap.events.push_back(std::move(r));
+    }
+    return cap;
+}
+
+/** Render one event as a timeline row. */
+void
+printEvent(const Record &r)
+{
+    std::printf("  t=%-12s %-15s", cyc(r.time).c_str(),
+                traceEventName(r.type));
+    const TracePayloadKeys &k = payloadKeys(r.type);
+    for (const char *key : {k.a, k.b, k.x, k.name}) {
+        if (key == nullptr)
+            continue;
+        std::printf(" %s=%s", key, r.field(key).c_str());
+    }
+    std::printf("\n");
+}
+
+void
+printJob(const Capture &cap, long long seq)
+{
+    auto it = cap.bySeq.find(seq);
+    if (it == cap.bySeq.end()) {
+        std::printf("arrival %lld: no driver events in capture\n", seq);
+        return;
+    }
+    const Record &sub = cap.events[it->second.front()];
+    std::printf("arrival %lld (%s)\n", seq,
+                sub.field("benchmark").empty()
+                    ? "?"
+                    : sub.field("benchmark").c_str());
+    for (const std::size_t idx : it->second)
+        printEvent(cap.events[idx]);
+    auto pl = cap.placement.find(seq);
+    if (pl == cap.placement.end())
+        return;
+    std::printf("  [node %lld, local job %lld]\n", pl->second.first,
+                pl->second.second);
+    auto nj = cap.byNodeJob.find(pl->second);
+    if (nj == cap.byNodeJob.end())
+        return;
+    for (const std::size_t idx : nj->second)
+        printEvent(cap.events[idx]);
+}
+
+void
+printSummary(const Capture &cap)
+{
+    std::map<std::string, std::size_t> byType;
+    for (const auto &r : cap.events)
+        ++byType[traceEventName(r.type)];
+    std::printf("%zu events, %zu arrivals\n", cap.events.size(),
+                cap.bySeq.size());
+    if (cap.hasMeta)
+        std::printf("meta: seed=%s nodes=%s threads=%s drops=%s "
+                    "wall_seconds=%s\n",
+                    cap.meta.field("seed").c_str(),
+                    cap.meta.field("nodes").c_str(),
+                    cap.meta.field("threads").c_str(),
+                    cap.meta.field("drops").c_str(),
+                    cap.meta.field("wall_seconds").c_str());
+    std::printf("events by type:\n");
+    for (const auto &[name, count] : byType)
+        std::printf("  %6zu  %s\n", count, name.c_str());
+}
+
+void
+printRejections(const Capture &cap)
+{
+    std::map<std::string, std::size_t> reasons;
+    std::size_t total = 0;
+    for (const auto &r : cap.events) {
+        if (r.type != TraceEventType::JobRejected)
+            continue;
+        ++total;
+        ++reasons[r.field("reason")];
+    }
+    std::printf("%zu rejections\n", total);
+    for (const auto &[reason, count] : reasons)
+        std::printf("  %6zu  %s\n", count, reason.c_str());
+}
+
+void
+printSteals(const Capture &cap)
+{
+    bool any = false;
+    for (const auto &[key, indices] : cap.byNodeJob) {
+        std::vector<std::size_t> relevant;
+        for (const std::size_t idx : indices) {
+            const TraceEventType t = cap.events[idx].type;
+            if (t == TraceEventType::WayStolen ||
+                t == TraceEventType::WayReturned ||
+                t == TraceEventType::StealCancelled)
+                relevant.push_back(idx);
+        }
+        if (relevant.empty())
+            continue;
+        any = true;
+        std::printf("node %lld, job %lld:\n", key.first, key.second);
+        for (const std::size_t idx : relevant)
+            printEvent(cap.events[idx]);
+    }
+    if (!any)
+        std::printf("no steal activity in capture\n");
+}
+
+void
+usage(const char *argv0)
+{
+    std::printf("usage: %s TRACE.jsonl [--jobs | --job SEQ | --steals "
+                "| --rejections]\n",
+                argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    std::string mode = "summary";
+    long long seq = -1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--jobs") {
+            mode = "jobs";
+        } else if (arg == "--job") {
+            if (i + 1 >= argc)
+                cmpqos_fatal("--job needs a sequence number");
+            mode = "job";
+            seq = std::atoll(argv[++i]);
+        } else if (arg == "--steals") {
+            mode = "steals";
+        } else if (arg == "--rejections") {
+            mode = "rejections";
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            usage(argv[0]);
+            cmpqos_fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    if (path.empty()) {
+        usage(argv[0]);
+        return 1;
+    }
+
+    const Capture cap = load(path);
+    if (mode == "summary") {
+        printSummary(cap);
+    } else if (mode == "jobs") {
+        for (const auto &[s, _] : cap.bySeq)
+            printJob(cap, s);
+    } else if (mode == "job") {
+        printJob(cap, seq);
+    } else if (mode == "steals") {
+        printSteals(cap);
+    } else if (mode == "rejections") {
+        printRejections(cap);
+    }
+    return 0;
+}
