@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Extension bench: QoS resilience and oracle overhead under injected
+ * faults.
+ *
+ * Runs the same 8-node open-loop workload (seed 42, 96 Poisson jobs)
+ * through a ladder of fault scenarios — none, checker-only (the
+ * zero-perturbation overhead case), a crash/restart storm, and seeded
+ * random plans of growing density — with the invariant oracle armed.
+ * Reports completion/failure accounting, per-mode deadline hit rates
+ * among completed jobs, recovery actions (relocations, downgrades)
+ * and the oracle's verdict. Results go in EXPERIMENTS.md.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "cluster/engine.hh"
+#include "fault/plan.hh"
+
+using namespace cmpqos;
+
+namespace
+{
+
+struct Scenario
+{
+    const char *name;
+    FaultPlan plan;
+    bool useFaults = true;
+    bool check = true;
+};
+
+ClusterMetrics
+runScenario(const Scenario &s, std::uint64_t *violations)
+{
+    ClusterConfig config;
+    config.nodes = 8;
+    config.threads = 4;
+    config.seed = 42;
+    config.quantum = 2'000'000;
+    if (s.useFaults)
+        config.faultPlan = &s.plan;
+    config.checkInvariants = s.check;
+
+    ArrivalMix mix = ArrivalMix::defaults();
+    mix.instructions = 2'000'000;
+    PoissonArrivalProcess arrivals(250'000.0, mix,
+                                   config.seed ^ 0xa11a1ULL, 96);
+    ClusterEngine engine(config);
+    const ClusterMetrics m = engine.runToCompletion(arrivals);
+    *violations = engine.invariantChecker() != nullptr
+                      ? engine.invariantChecker()->totalViolations()
+                      : 0;
+    return m;
+}
+
+FaultPlan
+crashStorm()
+{
+    FaultPlan plan;
+    // Three staggered crashes; two heal, one stays down.
+    plan.faults.push_back({FaultType::NodeCrash, 1, 2, 1, 1, 0});
+    plan.faults.push_back({FaultType::NodeRestart, 1, 4, 1, 1, 0});
+    plan.faults.push_back({FaultType::NodeCrash, 3, 5, 1, 1, 0});
+    plan.faults.push_back({FaultType::NodeRestart, 3, 8, 1, 1, 0});
+    plan.faults.push_back({FaultType::NodeCrash, 6, 7, 1, 1, 0});
+    return plan;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("# ext_fault_recovery: 8 nodes, 96 Poisson jobs, "
+                "seed 42, oracle at every barrier\n\n");
+    std::printf("%-16s %-8s %-11s %-7s %-10s %-8s %-8s %-6s %s\n",
+                "scenario", "wall_s", "done/acc", "failed",
+                "reloc(dg)", "strict", "elastic", "viol", "notes");
+
+    Scenario scenarios[] = {
+        {"baseline", {}, false, false},
+        {"checker-only", {}, true, true},
+        {"crash-storm", crashStorm(), true, true},
+        {"random-4", FaultPlan::random(7, 8, 10, 4), true, true},
+        {"random-8", FaultPlan::random(7, 8, 10, 8), true, true},
+        {"random-16", FaultPlan::random(7, 8, 10, 16), true, true},
+    };
+
+    // Warm the solo-CPI calibration memo so the baseline doesn't pay
+    // a one-time cost the later scenarios skip (it would make the
+    // checker-only overhead read as negative).
+    {
+        std::uint64_t ignored = 0;
+        (void)runScenario(scenarios[0], &ignored);
+    }
+
+    double base_wall = 0.0;
+    int rc = 0;
+    for (const Scenario &s : scenarios) {
+        std::uint64_t violations = 0;
+        const ClusterMetrics m = runScenario(s, &violations);
+        if (std::string(s.name) == "baseline")
+            base_wall = m.wallSeconds;
+
+        char done[24];
+        std::snprintf(done, sizeof(done), "%llu/%llu",
+                      static_cast<unsigned long long>(m.completed),
+                      static_cast<unsigned long long>(m.accepted));
+        char reloc[24];
+        std::snprintf(
+            reloc, sizeof(reloc), "%llu(%llu)",
+            static_cast<unsigned long long>(m.faults.relocated),
+            static_cast<unsigned long long>(
+                m.faults.relocationDowngraded));
+        char notes[64] = "";
+        if (std::string(s.name) == "checker-only" && base_wall > 0.0)
+            std::snprintf(notes, sizeof(notes), "+%.1f%% wall",
+                          100.0 * (m.wallSeconds / base_wall - 1.0));
+        else if (m.faults.crashes > 0)
+            std::snprintf(
+                notes, sizeof(notes), "%llu crash / %llu restart",
+                static_cast<unsigned long long>(m.faults.crashes),
+                static_cast<unsigned long long>(m.faults.restarts));
+
+        const ModeTally &strict =
+            m.byMode[static_cast<std::size_t>(ExecutionMode::Strict)];
+        const ModeTally &elastic =
+            m.byMode[static_cast<std::size_t>(ExecutionMode::Elastic)];
+        std::printf("%-16s %-8.3f %-11s %-7llu %-10s %-8.3f %-8.3f "
+                    "%-6llu %s\n",
+                    s.name, m.wallSeconds, done,
+                    static_cast<unsigned long long>(
+                        m.faults.failedJobs),
+                    reloc,
+                    strict.hasHitRate() ? strict.hitRate() : 0.0,
+                    elastic.hasHitRate() ? elastic.hitRate() : 0.0,
+                    static_cast<unsigned long long>(violations),
+                    notes);
+
+        if (violations != 0) {
+            std::printf("UNEXPECTED: oracle fired on scenario %s\n",
+                        s.name);
+            rc = 1;
+        }
+        if (m.completed + m.faults.failedJobs != m.accepted) {
+            std::printf("UNEXPECTED: accounting identity broken on "
+                        "%s\n",
+                        s.name);
+            rc = 1;
+        }
+    }
+    return rc;
+}

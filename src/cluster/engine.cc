@@ -34,6 +34,15 @@ ClusterEngine::ClusterEngine(const ClusterConfig &config)
             nodes_[static_cast<std::size_t>(n)]->setTrace(
                 config_.telemetry->nodeRecorder(n));
     }
+
+    probeSkip_.assign(static_cast<std::size_t>(config_.nodes), 0);
+    if (config_.faultPlan != nullptr && !config_.faultPlan->empty()) {
+        config_.faultPlan->validate(config_.nodes);
+        injector_ = std::make_unique<FaultInjector>(*config_.faultPlan,
+                                                    config_.quantum);
+    }
+    if (config_.checkInvariants)
+        checker_ = std::make_unique<InvariantChecker>();
 }
 
 NodeWorker &
@@ -44,13 +53,19 @@ ClusterEngine::node(NodeId n)
 }
 
 NodeId
-ClusterEngine::choose(const JobRequest &request, InstCount instructions)
+ClusterEngine::choose(const JobRequest &request, InstCount instructions,
+                      bool probe_faults)
 {
     NodeId best = -1;
     Cycle best_slot = maxCycle;
     std::size_t best_load = 0;
     unsigned best_ways = 0;
     for (auto &node : nodes_) {
+        if (!node->alive())
+            continue;
+        if (probe_faults &&
+            probeSkip_[static_cast<std::size_t>(node->id())])
+            continue;
         const AdmissionDecision d = node->probe(request, instructions);
         if (!d.accepted)
             continue;
@@ -84,6 +99,54 @@ ClusterEngine::choose(const JobRequest &request, InstCount instructions)
     return best;
 }
 
+void
+ClusterEngine::refreshProbeFaults(Cycle t)
+{
+    if (injector_ == nullptr || !injector_->anyWindows())
+        return;
+    const bool tracing =
+        driverTrace_ != nullptr && driverTrace_->active();
+    for (const auto &node : nodes_) {
+        const auto i = static_cast<std::size_t>(node->id());
+        probeSkip_[i] = 0;
+        if (!node->alive())
+            continue;
+        if (injector_->probeDropped(node->id(), t)) {
+            probeSkip_[i] = 1;
+            ++faults_.probesDropped;
+            if (tracing) {
+                TraceEvent e =
+                    traceEvent(TraceEventType::ProbeDropped, t);
+                e.a = static_cast<std::uint64_t>(node->id());
+                driverTrace_->emit(e);
+            }
+            continue;
+        }
+        const unsigned failures =
+            injector_->probeTimeoutFailures(node->id(), t);
+        if (failures == 0)
+            continue;
+        const bool abandoned = failures > config_.probeRetry.maxRetries;
+        if (abandoned) {
+            // Retry budget exhausted: the node counts as unreachable
+            // for this placement.
+            probeSkip_[i] = 1;
+            ++faults_.probeTimeouts;
+        } else {
+            faults_.probeRetries += failures;
+            faults_.backoffCycles +=
+                config_.probeRetry.totalBackoff(failures);
+        }
+        if (tracing) {
+            TraceEvent e = traceEvent(TraceEventType::ProbeTimeout, t);
+            e.a = static_cast<std::uint64_t>(node->id());
+            e.b = failures;
+            e.setName(abandoned ? "abandoned" : "recovered");
+            driverTrace_->emit(e);
+        }
+    }
+}
+
 ClusterEngine::Placement
 ClusterEngine::place(const ClusterArrival &arrival)
 {
@@ -102,6 +165,7 @@ ClusterEngine::place(const ClusterArrival &arrival)
         e.setName(arrival.request.benchmark);
         driverTrace_->emit(e);
     }
+    refreshProbeFaults(arrival.time);
     Placement p;
     JobRequest request = arrival.request;
     NodeId target = choose(request, arrival.instructions);
@@ -146,6 +210,30 @@ ClusterEngine::place(const ClusterArrival &arrival)
     ++acceptedByTier_[static_cast<std::size_t>(arrival.tier)];
     p.accepted = true;
     p.node = target;
+    if (injector_ != nullptr) {
+        // Idempotent commit: acceptance replies are keyed by arrival
+        // sequence, so a duplicated reply from the node is detected
+        // and dropped instead of double-placing the job.
+        const bool fresh =
+            committedSeqs_.insert(static_cast<std::uint64_t>(seq))
+                .second;
+        cmpqos_assert(fresh, "arrival %d committed twice", seq);
+        if (injector_->duplicateReply(target, arrival.time)) {
+            const bool dup =
+                committedSeqs_.insert(static_cast<std::uint64_t>(seq))
+                    .second;
+            cmpqos_assert(!dup,
+                          "duplicate reply slipped past the dedup");
+            ++faults_.duplicateReplies;
+            if (tracing) {
+                TraceEvent e = traceEvent(
+                    TraceEventType::DuplicateReplyDropped,
+                    arrival.time, seq);
+                e.a = static_cast<std::uint64_t>(target);
+                driverTrace_->emit(e);
+            }
+        }
+    }
     if (tracing) {
         if (p.negotiated) {
             TraceEvent n = traceEvent(TraceEventType::JobNegotiated,
@@ -166,11 +254,159 @@ ClusterEngine::place(const ClusterArrival &arrival)
 }
 
 void
-ClusterEngine::advanceAll(Cycle t)
+ClusterEngine::relocate(NodeId origin, const NodeWorker::LostJob &lost,
+                        Cycle t)
 {
-    pool_.parallelFor(nodes_.size(), [this, t](std::size_t i) {
-        nodes_[i]->advanceTo(t);
-    });
+    const bool tracing =
+        driverTrace_ != nullptr && driverTrace_->active();
+    // Relocation probes bypass probe-fault windows: the GAC is
+    // re-placing from its own records, not racing a lossy probe.
+    JobRequest request = lost.request;
+    NodeId target = choose(request, lost.instructions, false);
+    bool negotiated = false;
+    bool downgraded = false;
+    if (target < 0 && config_.negotiate &&
+        lost.mode != ExecutionMode::Opportunistic) {
+        const double base = request.deadlineFactor;
+        for (double f = 1.0 + config_.negotiateStep;
+             f <= config_.negotiateMaxFactor + 1e-9;
+             f += config_.negotiateStep) {
+            request.deadlineFactor = base * f;
+            target = choose(request, lost.instructions, false);
+            if (target >= 0) {
+                negotiated = true;
+                break;
+            }
+        }
+    }
+    if (target < 0 && lost.mode == ExecutionMode::Elastic) {
+        // Elastic fallback: rather than lose the job, re-admit it
+        // best-effort (a QoS downgrade the tallies make visible).
+        JobRequest fallback = lost.request;
+        fallback.mode = ModeSpec::opportunistic();
+        target = choose(fallback, lost.instructions, false);
+        if (target >= 0) {
+            request = fallback;
+            downgraded = true;
+        }
+    }
+    if (target < 0) {
+        // No alive node can take the job: a distinct failure outcome,
+        // never a silent drop.
+        ++faults_.relocationRejected;
+        nodes_[static_cast<std::size_t>(origin)]
+            ->recordRelocationFailure();
+        if (tracing) {
+            TraceEvent e = traceEvent(TraceEventType::JobFailed, t,
+                                      lost.localJob);
+            e.a = static_cast<std::uint64_t>(origin);
+            e.b = static_cast<std::uint64_t>(lost.localJob);
+            e.setName("relocation-failed");
+            driverTrace_->emit(e);
+        }
+        return;
+    }
+    Job *job = nodes_[static_cast<std::size_t>(target)]->submit(
+        request, lost.instructions);
+    if (job == nullptr)
+        cmpqos_panic("relocation probe/submit disagreement on node %d",
+                     target);
+    if (downgraded)
+        ++faults_.relocationDowngraded;
+    else
+        ++faults_.relocated;
+    if (tracing) {
+        TraceEvent e =
+            traceEvent(TraceEventType::JobRelocated, t, lost.localJob);
+        e.a = static_cast<std::uint64_t>(origin);
+        e.b = static_cast<std::uint64_t>(target);
+        e.setName(downgraded    ? "downgraded"
+                  : negotiated ? "renegotiated"
+                               : "readmitted");
+        driverTrace_->emit(e);
+    }
+}
+
+void
+ClusterEngine::applyFaultActions(Cycle t)
+{
+    if (injector_ == nullptr)
+        return;
+    const bool tracing =
+        driverTrace_ != nullptr && driverTrace_->active();
+    for (const FaultAction &action : injector_->actionsDue(t)) {
+        NodeWorker &w = *nodes_[static_cast<std::size_t>(action.node)];
+        if (action.type == FaultType::NodeCrash) {
+            if (!w.alive())
+                continue; // already down: tolerated plan sloppiness
+            ++faults_.crashes;
+            NodeWorker::CrashReport report = w.crash();
+            if (tracing) {
+                TraceEvent e =
+                    traceEvent(TraceEventType::NodeCrashed, t);
+                e.a = static_cast<std::uint64_t>(action.node);
+                e.b = action.quantum;
+                driverTrace_->emit(e);
+                for (JobId j : report.failedRunning) {
+                    TraceEvent f =
+                        traceEvent(TraceEventType::JobFailed, t, j);
+                    f.a = static_cast<std::uint64_t>(action.node);
+                    f.b = static_cast<std::uint64_t>(j);
+                    f.setName("node-crash");
+                    driverTrace_->emit(f);
+                }
+            }
+            for (const NodeWorker::LostJob &lost : report.waiting)
+                relocate(action.node, lost, t);
+        } else {
+            if (w.alive())
+                continue; // restart without a crash: no-op
+            ++faults_.restarts;
+            w.restart(t);
+            if (tracing) {
+                TraceEvent e =
+                    traceEvent(TraceEventType::NodeRestarted, t);
+                e.a = static_cast<std::uint64_t>(action.node);
+                e.b = action.quantum;
+                driverTrace_->emit(e);
+            }
+        }
+    }
+}
+
+void
+ClusterEngine::checkAll()
+{
+    for (const auto &node : nodes_)
+        if (node->alive())
+            checker_->checkNode(node->id(), node->framework(),
+                                node->virtualNow());
+}
+
+void
+ClusterEngine::advanceAll(Cycle from, Cycle to)
+{
+    const bool stalls_possible =
+        injector_ != nullptr && injector_->anyWindows();
+    std::vector<Cycle> stalls;
+    if (stalls_possible) {
+        // Slow-quantum stalls are computed on the driver thread so
+        // the parallel advance stays deterministic.
+        stalls.assign(nodes_.size(), 0);
+        for (std::size_t i = 0; i < nodes_.size(); ++i) {
+            if (!nodes_[i]->alive())
+                continue;
+            stalls[i] =
+                injector_->stallCycles(nodes_[i]->id(), from);
+            if (stalls[i] > 0)
+                ++faults_.stalledQuanta;
+        }
+    }
+    pool_.parallelFor(nodes_.size(),
+                      [this, to, &stalls](std::size_t i) {
+                          nodes_[i]->advanceTo(
+                              to, stalls.empty() ? 0 : stalls[i]);
+                      });
 }
 
 ClusterMetrics
@@ -181,6 +417,8 @@ ClusterEngine::run(ArrivalProcess &arrivals, Cycle horizon, bool drain)
     std::optional<ClusterArrival> pending = arrivals.next();
     Cycle t = 0;
     while (t < horizon) {
+        applyFaultActions(t);
+
         Cycle next_q = t + config_.quantum;
         if (pending && pending->time >= next_q) {
             // Nothing to place for a while: jump to the quantum
@@ -189,6 +427,20 @@ ClusterEngine::run(ArrivalProcess &arrivals, Cycle horizon, bool drain)
             const Cycle boundary =
                 pending->time - (pending->time % config_.quantum);
             next_q = std::max(next_q, boundary);
+        }
+        if (injector_ != nullptr) {
+            const Cycle ev = injector_->nextEventTime(t);
+            if (ev < next_q) {
+                // Never jump past a barrier with scheduled fault
+                // activity; inside a window, step one quantum at a
+                // time so per-quantum faults land on every quantum.
+                next_q = t + config_.quantum;
+            } else if (!pending && injector_->actionsPending() &&
+                       ev != maxCycle && ev > next_q) {
+                // Stream is dry but crash/restart work remains:
+                // jump straight to the next fault barrier.
+                next_q = ev;
+            }
         }
         if (next_q > horizon)
             next_q = horizon;
@@ -202,16 +454,19 @@ ClusterEngine::run(ArrivalProcess &arrivals, Cycle horizon, bool drain)
 
         if (!pending && !drain)
             break;
-        if (!pending && drain) {
+        if (!pending && drain &&
+            !(injector_ != nullptr && injector_->actionsPending())) {
             // Stream exhausted: no more placements can happen, so
             // the remaining work has no quantum constraint.
             break;
         }
-        advanceAll(next_q);
+        advanceAll(t, next_q);
         // Quantum barrier: every node is quiescent, so the rings can
         // be emptied into the sinks in producer order.
         if (config_.telemetry != nullptr)
             config_.telemetry->drain();
+        if (checker_ != nullptr)
+            checkAll();
         t = next_q;
     }
 
@@ -220,7 +475,7 @@ ClusterEngine::run(ArrivalProcess &arrivals, Cycle horizon, bool drain)
             nodes_[i]->drain();
         });
     } else {
-        advanceAll(horizon);
+        advanceAll(t, horizon);
         // Open-loop truncation: the arrival already pulled past the
         // horizon was never offered for admission.
         if (pending)
@@ -228,6 +483,8 @@ ClusterEngine::run(ArrivalProcess &arrivals, Cycle horizon, bool drain)
     }
     if (config_.telemetry != nullptr)
         config_.telemetry->drain();
+    if (checker_ != nullptr)
+        checkAll();
 
     const auto wall_end = std::chrono::steady_clock::now();
     wallSeconds_ +=
@@ -262,6 +519,9 @@ ClusterEngine::snapshot() const
     m.truncated = truncated_;
     m.acceptedByTier = acceptedByTier_;
     m.wallSeconds = wallSeconds_;
+    m.faults = faults_;
+    if (checker_ != nullptr)
+        m.invariantViolations = checker_->totalViolations();
 
     std::vector<NodeMetrics> per_node;
     per_node.reserve(nodes_.size());

@@ -22,12 +22,15 @@
 #define CMPQOS_CLUSTER_ENGINE_HH
 
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/arrival.hh"
 #include "cluster/metrics.hh"
 #include "cluster/node_worker.hh"
 #include "common/thread_pool.hh"
+#include "fault/injector.hh"
+#include "fault/invariants.hh"
 #include "qos/gac.hh"
 #include "telemetry/collector.hh"
 
@@ -64,6 +67,17 @@ struct ClusterConfig
      * TraceCollector::finish() when the run (or runs) are over.
      */
     TraceCollector *telemetry = nullptr;
+    /**
+     * Optional fault plan (not owned; nullptr or empty = fault-free).
+     * Faults execute on the driver thread at quantum barriers, so a
+     * given seed + plan replays bit-identically at any thread count.
+     */
+    const FaultPlan *faultPlan = nullptr;
+    /** Evaluate the invariant oracle at every quantum barrier (and
+     *  once more after the final drain). */
+    bool checkInvariants = false;
+    /** Retry/backoff budget charged against probe-timeout faults. */
+    GacRetryConfig probeRetry;
 };
 
 /**
@@ -93,6 +107,16 @@ class ClusterEngine
     ClusterMetrics runForDuration(ArrivalProcess &arrivals,
                                   Cycle duration);
 
+    /** The oracle, when checkInvariants was set (else nullptr). */
+    const InvariantChecker *invariantChecker() const
+    {
+        return checker_.get();
+    }
+
+    /** Driver-side fault tallies so far (failedJobs lives in the
+     *  per-node metrics; see snapshot()). */
+    const FaultTallies &faultTallies() const { return faults_; }
+
   private:
     struct Placement
     {
@@ -104,15 +128,37 @@ class ClusterEngine
     ClusterMetrics run(ArrivalProcess &arrivals, Cycle horizon,
                        bool drain);
     Placement place(const ClusterArrival &arrival);
-    /** Choose among accepting nodes per policy; -1 if none accept. */
-    NodeId choose(const JobRequest &request, InstCount instructions);
-    void advanceAll(Cycle t);
+    /**
+     * Choose among accepting nodes per policy; -1 if none accept.
+     * Dead nodes never probe. @p probe_faults applies the current
+     * drop/timeout skip set (relocation bypasses it: the GAC re-places
+     * from its own records, not through a lossy probe).
+     */
+    NodeId choose(const JobRequest &request, InstCount instructions,
+                  bool probe_faults = true);
+    void advanceAll(Cycle from, Cycle to);
     ClusterMetrics snapshot() const;
+
+    // Fault machinery (all driver-thread, all barrier-aligned).
+    void applyFaultActions(Cycle t);
+    void relocate(NodeId origin, const NodeWorker::LostJob &lost,
+                  Cycle t);
+    void refreshProbeFaults(Cycle t);
+    void checkAll();
 
     ClusterConfig config_;
     ThreadPool pool_;
     std::vector<std::unique_ptr<NodeWorker>> nodes_;
     TraceRecorder *driverTrace_ = nullptr;
+
+    std::unique_ptr<FaultInjector> injector_;
+    std::unique_ptr<InvariantChecker> checker_;
+    FaultTallies faults_;
+    /** Per-node probe-fault skip set for the arrival being placed. */
+    std::vector<char> probeSkip_;
+    /** Arrival seqs whose acceptance committed (duplicate-reply
+     *  dedup; maintained only under an active injector). */
+    std::unordered_set<std::uint64_t> committedSeqs_;
 
     // Driver-side admission counters.
     std::uint64_t submitted_ = 0;

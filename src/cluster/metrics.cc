@@ -36,33 +36,50 @@ num(double v)
 NodeMetrics
 MetricsExporter::collectNode(const NodeWorker &worker)
 {
-    const QosFramework &fw = worker.framework();
     NodeMetrics m;
     m.node = worker.id();
     m.virtualTime = worker.virtualNow();
     m.placed = worker.placed();
     m.inFlight = worker.inFlight();
+    m.alive = worker.alive();
+    m.restarts = worker.restarts();
 
-    for (const auto &job : fw.jobs()) {
-        if (job->state() == JobState::Completed) {
-            ++m.completed;
-            auto &tally = m.byMode[modeIndex(job->mode().mode)];
-            ++tally.completed;
-            if (job->deadlineMet())
-                ++tally.deadlineHits;
+    // Work lost to crashes lives in the carried tallies; the live
+    // framework is only scanned while the node is up (a crashed
+    // node's framework is retired — crash() already folded it in).
+    const NodeCarried &carried = worker.carried();
+    m.failed = carried.failed;
+    m.completed = carried.completed;
+    m.instructions = carried.instructions;
+    m.stolenWays = carried.stolenWays;
+    double busy = carried.busyCycles;
+    for (std::size_t i = 0; i < m.byMode.size(); ++i) {
+        m.byMode[i].completed = carried.modeCompleted[i];
+        m.byMode[i].deadlineHits = carried.modeDeadlineHits[i];
+    }
+
+    if (worker.alive()) {
+        const QosFramework &fw = worker.framework();
+        for (const auto &job : fw.jobs()) {
+            if (job->state() == JobState::Completed) {
+                ++m.completed;
+                auto &tally = m.byMode[modeIndex(job->mode().mode)];
+                ++tally.completed;
+                if (job->deadlineMet())
+                    ++tally.deadlineHits;
+            }
+            m.stolenWays += job->stolenWays;
         }
-        m.stolenWays += job->stolenWays;
+        const CmpSystem &sys = fw.system();
+        for (int c = 0; c < sys.numCores(); ++c) {
+            const CoreLedger &ledger = sys.core(c).ledger();
+            m.instructions += ledger.instructions;
+            busy += ledger.cycles;
+        }
     }
-
-    double busy = 0.0;
-    const CmpSystem &sys = fw.system();
-    for (int c = 0; c < sys.numCores(); ++c) {
-        const CoreLedger &ledger = sys.core(c).ledger();
-        m.instructions += ledger.instructions;
-        busy += ledger.cycles;
-    }
-    const double capacity = static_cast<double>(m.virtualTime) *
-                            static_cast<double>(sys.numCores());
+    const double capacity =
+        static_cast<double>(m.virtualTime) *
+        static_cast<double>(worker.framework().system().numCores());
     m.utilisation = capacity <= 0.0 ? 0.0 : busy / capacity;
     if (m.utilisation > 1.0)
         m.utilisation = 1.0;
@@ -79,12 +96,14 @@ MetricsExporter::aggregate(ClusterMetrics &cluster,
     cluster.completed = 0;
     cluster.stolenWays = 0;
     cluster.byMode = {};
+    cluster.faults.failedJobs = 0;
     for (const auto &n : nodes) {
         cluster.virtualTime = std::max(cluster.virtualTime,
                                        n.virtualTime);
         cluster.instructions += n.instructions;
         cluster.completed += n.completed;
         cluster.stolenWays += n.stolenWays;
+        cluster.faults.failedJobs += n.failed;
         for (std::size_t i = 0; i < cluster.byMode.size(); ++i) {
             cluster.byMode[i].completed += n.byMode[i].completed;
             cluster.byMode[i].deadlineHits += n.byMode[i].deadlineHits;
@@ -106,10 +125,27 @@ ClusterMetrics::fingerprint() const
     for (std::size_t i = 0; i < byMode.size(); ++i)
         os << " " << modeKey[i] << "=" << byMode[i].completed << ":"
            << byMode[i].deadlineHits;
-    for (const auto &n : nodes)
+    // Fault fields only join the digest when something faulted: an
+    // empty fault plan must fingerprint byte-identically to a build
+    // without the fault layer (zero-perturbation guarantee).
+    const bool faulty = faults.any() || invariantViolations != 0;
+    if (faulty)
+        os << " faults=" << faults.crashes << ":" << faults.restarts
+           << ":" << faults.failedJobs << ":" << faults.relocated
+           << ":" << faults.relocationDowngraded << ":"
+           << faults.relocationRejected << ":" << faults.probesDropped
+           << ":" << faults.probeTimeouts << ":" << faults.probeRetries
+           << ":" << faults.backoffCycles << ":"
+           << faults.duplicateReplies << ":" << faults.stalledQuanta
+           << " violations=" << invariantViolations;
+    for (const auto &n : nodes) {
         os << " n" << n.node << "=" << n.placed << ":" << n.completed
            << ":" << n.inFlight << ":" << n.instructions << ":"
            << n.stolenWays << ":" << n.virtualTime;
+        if (faulty)
+            os << ":" << n.failed << ":" << n.restarts << ":"
+               << (n.alive ? 1 : 0);
+    }
     return os.str();
 }
 
@@ -142,7 +178,20 @@ MetricsExporter::writeJsonl(const ClusterMetrics &m, std::ostream &os)
            << "\":" << num(m.byMode[i].hitRate());
         first_rate = false;
     }
-    os << "},\"wall_seconds\":" << num(m.wallSeconds)
+    os << "},\"faults\":{\"crashes\":" << m.faults.crashes
+       << ",\"restarts\":" << m.faults.restarts
+       << ",\"failed_jobs\":" << m.faults.failedJobs
+       << ",\"relocated\":" << m.faults.relocated
+       << ",\"relocation_downgraded\":" << m.faults.relocationDowngraded
+       << ",\"relocation_rejected\":" << m.faults.relocationRejected
+       << ",\"probes_dropped\":" << m.faults.probesDropped
+       << ",\"probe_timeouts\":" << m.faults.probeTimeouts
+       << ",\"probe_retries\":" << m.faults.probeRetries
+       << ",\"backoff_cycles\":" << m.faults.backoffCycles
+       << ",\"duplicate_replies\":" << m.faults.duplicateReplies
+       << ",\"stalled_quanta\":" << m.faults.stalledQuanta
+       << "},\"invariant_violations\":" << m.invariantViolations
+       << ",\"wall_seconds\":" << num(m.wallSeconds)
        << ",\"jobs_per_second\":" << num(m.jobsPerWallSecond()) << "}\n";
 
     for (const auto &n : m.nodes) {
@@ -153,7 +202,10 @@ MetricsExporter::writeJsonl(const ClusterMetrics &m, std::ostream &os)
            << ",\"in_flight\":" << n.inFlight
            << ",\"instructions\":" << n.instructions
            << ",\"utilisation\":" << num(n.utilisation)
-           << ",\"stolen_ways\":" << n.stolenWays;
+           << ",\"stolen_ways\":" << n.stolenWays
+           << ",\"failed\":" << n.failed
+           << ",\"restarts\":" << n.restarts
+           << ",\"alive\":" << (n.alive ? "true" : "false");
         for (std::size_t i = 0; i < n.byMode.size(); ++i)
             os << ",\"" << modeKey[i]
                << "_completed\":" << n.byMode[i].completed << ",\""
@@ -167,7 +219,7 @@ void
 MetricsExporter::writeCsv(const ClusterMetrics &m, std::ostream &os)
 {
     os << "node,virtual_cycles,placed,completed,in_flight,"
-          "instructions,utilisation,stolen_ways";
+          "instructions,utilisation,stolen_ways,failed,restarts,alive";
     for (const char *key : modeKey)
         os << "," << key << "_completed," << key << "_deadline_hits,"
            << key << "_hit_rate";
@@ -176,7 +228,8 @@ MetricsExporter::writeCsv(const ClusterMetrics &m, std::ostream &os)
         os << n.node << "," << n.virtualTime << "," << n.placed << ","
            << n.completed << "," << n.inFlight << ","
            << n.instructions << "," << num(n.utilisation) << ","
-           << n.stolenWays;
+           << n.stolenWays << "," << n.failed << "," << n.restarts
+           << "," << (n.alive ? 1 : 0);
         for (const auto &tally : n.byMode) {
             os << "," << tally.completed << "," << tally.deadlineHits
                << ",";

@@ -67,7 +67,55 @@ struct NodeMetrics
     double utilisation = 0.0;
     /** Cache ways stolen for Elastic jobs (Section 4's engine). */
     std::uint64_t stolenWays = 0;
+    /** Jobs lost to crashes / failed relocation (distinct outcome —
+     *  never folded into completed or silently dropped). */
+    std::uint64_t failed = 0;
+    /** Crash->restart cycles this node went through. */
+    std::uint64_t restarts = 0;
+    /** False while the node is crashed at snapshot time. */
+    bool alive = true;
     std::array<ModeTally, 3> byMode; // indexed by ExecutionMode
+};
+
+/**
+ * Driver-side fault and recovery counters (all zero on fault-free
+ * runs — the fingerprint only includes them when any() is true, so a
+ * run with an empty fault plan fingerprints byte-identically to a
+ * build without the fault layer).
+ */
+struct FaultTallies
+{
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    /** Jobs lost: running at a crash, or relocation rejected. */
+    std::uint64_t failedJobs = 0;
+    /** Waiting jobs re-admitted elsewhere (as-is or renegotiated). */
+    std::uint64_t relocated = 0;
+    /** Elastic waiting jobs relocated as Opportunistic. */
+    std::uint64_t relocationDowngraded = 0;
+    /** Waiting jobs no alive node would take (counted failed). */
+    std::uint64_t relocationRejected = 0;
+    /** Placement probes lost to drop windows. */
+    std::uint64_t probesDropped = 0;
+    /** Probes abandoned after the retry budget. */
+    std::uint64_t probeTimeouts = 0;
+    /** Probe retries that eventually succeeded. */
+    std::uint64_t probeRetries = 0;
+    /** Virtual cycles charged to retry backoff. */
+    Cycle backoffCycles = 0;
+    /** Duplicated negotiation replies detected and dropped. */
+    std::uint64_t duplicateReplies = 0;
+    /** (node, quantum) pairs hit by a slow-quantum window. */
+    std::uint64_t stalledQuanta = 0;
+
+    bool
+    any() const
+    {
+        return crashes || restarts || failedJobs || relocated ||
+               relocationDowngraded || relocationRejected ||
+               probesDropped || probeTimeouts || probeRetries ||
+               backoffCycles || duplicateReplies || stalledQuanta;
+    }
 };
 
 /** Snapshot of the whole cluster. */
@@ -94,6 +142,12 @@ struct ClusterMetrics
     std::uint64_t completed = 0;
     std::uint64_t stolenWays = 0;
     std::array<ModeTally, 3> byMode;
+
+    // Fault-injection tallies (zero and fingerprint-invisible on
+    // fault-free runs).
+    FaultTallies faults;
+    /** Distinct invariant violations the oracle recorded (0 = ok). */
+    std::uint64_t invariantViolations = 0;
 
     // Host-side measurement (excluded from the fingerprint).
     double wallSeconds = 0.0;

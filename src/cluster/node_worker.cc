@@ -1,11 +1,14 @@
 #include "node_worker.hh"
 
+#include "common/logging.hh"
+#include "common/random.hh"
+
 namespace cmpqos
 {
 
 NodeWorker::NodeWorker(NodeId id, const FrameworkConfig &config,
                        std::uint64_t seed)
-    : id_(id)
+    : id_(id), config_(config), seed_(seed)
 {
     FrameworkConfig node_config = config;
     node_config.seed = seed;
@@ -20,12 +23,28 @@ NodeWorker::setTrace(TraceRecorder *trace)
 }
 
 void
-NodeWorker::advanceTo(Cycle t)
+NodeWorker::advanceTo(Cycle t, Cycle stall)
 {
+    if (!alive_)
+        return;
     Simulation &sim = framework_->simulation();
     if (sim.now() >= t)
         return;
     const bool tracing = trace_ != nullptr && trace_->active();
+    if (stall > 0) {
+        // Slow quantum: the node only reaches t - stall this quantum
+        // (virtual latency spike; it catches up next quantum).
+        if (tracing) {
+            TraceEvent e =
+                traceEvent(TraceEventType::QuantumStalled, sim.now());
+            e.a = t;
+            e.b = stall;
+            trace_->emit(e);
+        }
+        t = t > stall ? t - stall : 0;
+        if (sim.now() >= t)
+            return;
+    }
     if (tracing) {
         TraceEvent e = traceEvent(TraceEventType::QuantumBegin, sim.now());
         e.a = t;
@@ -46,22 +65,99 @@ NodeWorker::advanceTo(Cycle t)
 void
 NodeWorker::drain()
 {
+    if (!alive_)
+        return;
     framework_->runToCompletion();
 }
 
 AdmissionDecision
 NodeWorker::probe(const JobRequest &request, InstCount instructions) const
 {
+    cmpqos_assert(alive_, "probe on dead node %d", id_);
     return framework_->probeJob(request, instructions);
 }
 
 Job *
 NodeWorker::submit(const JobRequest &request, InstCount instructions)
 {
+    cmpqos_assert(alive_, "submit on dead node %d", id_);
     Job *job = framework_->submitJob(request, instructions);
-    if (job != nullptr)
+    if (job != nullptr) {
         ++placed_;
+        pendingRequests_[job->id()] = {request, instructions};
+    }
     return job;
+}
+
+NodeWorker::CrashReport
+NodeWorker::crash()
+{
+    cmpqos_assert(alive_, "crash on already-dead node %d", id_);
+    CrashReport report;
+    const QosFramework &fw = *framework_;
+
+    // Fold the dying incarnation's completed work into the carried
+    // tallies (the framework is retired, never scanned again), and
+    // sort the in-flight jobs into failed (running) vs relocatable
+    // (still waiting for their slot).
+    for (const auto &job : fw.jobs()) {
+        switch (job->state()) {
+          case JobState::Running:
+            report.failedRunning.push_back(job->id());
+            break;
+          case JobState::Waiting: {
+            auto it = pendingRequests_.find(job->id());
+            cmpqos_assert(it != pendingRequests_.end(),
+                          "waiting job %d has no recorded request",
+                          job->id());
+            report.waiting.push_back({job->id(), it->second.request,
+                                      it->second.instructions,
+                                      job->mode().mode});
+            break;
+          }
+          case JobState::Completed: {
+            ++carried_.completed;
+            const auto m =
+                static_cast<std::size_t>(job->mode().mode);
+            ++carried_.modeCompleted[m];
+            if (job->deadlineMet())
+                ++carried_.modeDeadlineHits[m];
+            break;
+          }
+          default:
+            break;
+        }
+        carried_.stolenWays += job->stolenWays;
+    }
+    const CmpSystem &sys = fw.system();
+    for (int c = 0; c < sys.numCores(); ++c) {
+        const CoreLedger &ledger = sys.core(c).ledger();
+        carried_.instructions += ledger.instructions;
+        carried_.busyCycles += ledger.cycles;
+    }
+    carried_.virtualTime = fw.simulation().now();
+    carried_.failed += report.failedRunning.size();
+    alive_ = false;
+    return report;
+}
+
+void
+NodeWorker::restart(Cycle now)
+{
+    cmpqos_assert(!alive_, "restart on live node %d", id_);
+    ++restarts_;
+    // Deterministic incarnation seed: node seed split by the restart
+    // ordinal, so replays are bit-identical at any thread count.
+    Rng derive(seed_ ^ (0x9E3779B97F4A7C15ULL * restarts_));
+    FrameworkConfig node_config = config_;
+    node_config.seed = derive.next();
+    framework_ = std::make_unique<QosFramework>(node_config);
+    if (trace_ != nullptr)
+        framework_->setTrace(trace_);
+    pendingRequests_.clear();
+    alive_ = true;
+    // Align the fresh clock with the cluster barrier.
+    advanceTo(now);
 }
 
 } // namespace cmpqos

@@ -4,21 +4,49 @@
  * advanced in bounded quanta by the worker thread pool.
  *
  * A NodeWorker is only ever touched from one thread at a time — the
- * driver thread between quanta (placement probes and submissions) and
- * exactly one pool worker during a quantum (advanceTo / drain). The
- * engine's barrier-step loop enforces that ownership handoff, so the
- * worker itself needs no locks.
+ * driver thread between quanta (placement probes, submissions, and
+ * fault actions) and exactly one pool worker during a quantum
+ * (advanceTo / drain). The engine's barrier-step loop enforces that
+ * ownership handoff, so the worker itself needs no locks.
+ *
+ * Crash/restart: crash() retires the current framework — completed
+ * work is folded into carried tallies so metrics survive the loss,
+ * running jobs are counted failed, and waiting jobs are handed back
+ * for relocation. restart() brings the node back with a fresh
+ * framework whose seed is derived deterministically from the node
+ * seed and the restart ordinal, so fault runs replay bit-identically
+ * at any thread count.
  */
 
 #ifndef CMPQOS_CLUSTER_NODE_WORKER_HH
 #define CMPQOS_CLUSTER_NODE_WORKER_HH
 
+#include <array>
 #include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "qos/framework.hh"
 
 namespace cmpqos
 {
+
+/**
+ * Tallies accumulated over retired framework incarnations (crashes),
+ * folded into the node's metrics alongside the live framework.
+ */
+struct NodeCarried
+{
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::array<std::uint64_t, 3> modeCompleted{}; // by ExecutionMode
+    std::array<std::uint64_t, 3> modeDeadlineHits{};
+    InstCount instructions = 0;
+    double busyCycles = 0.0;
+    std::uint64_t stolenWays = 0;
+    /** Node clock at the (last) crash — frozen while dead. */
+    Cycle virtualTime = 0;
+};
 
 /**
  * A cluster node: framework + per-node placement counters.
@@ -38,17 +66,25 @@ class NodeWorker
     QosFramework &framework() { return *framework_; }
     const QosFramework &framework() const { return *framework_; }
 
-    /** Node-local virtual time. */
-    Cycle virtualNow() const { return framework_->simulation().now(); }
+    /** Node-local virtual time (frozen at the crash while dead). */
+    Cycle
+    virtualNow() const
+    {
+        return alive_ ? framework_->simulation().now()
+                      : carried_.virtualTime;
+    }
 
     /**
      * Advance the node's co-simulation to at least @p t (exactly t
      * when the node idles before then; overshoot is bounded by one
-     * execution chunk otherwise).
+     * execution chunk otherwise). Dead nodes do not advance.
+     *
+     * @param stall Slow-quantum fault: fall this many cycles short of
+     *        @p t (clamped at the current clock; 0 = no fault).
      */
-    void advanceTo(Cycle t);
+    void advanceTo(Cycle t, Cycle stall = 0);
 
-    /** Run until every submitted job has completed. */
+    /** Run until every submitted job has completed (no-op if dead). */
     void drain();
 
     /** Side-effect-free admission probe at the node's local time. */
@@ -58,11 +94,60 @@ class NodeWorker
     /** Submit (commits on acceptance). @return the job or nullptr. */
     Job *submit(const JobRequest &request, InstCount instructions);
 
-    /** Jobs placed on this node so far. */
+    /** Jobs placed on this node so far (all incarnations). */
     std::uint64_t placed() const { return placed_; }
 
     /** Jobs currently in flight (submitted, not finished). */
-    std::size_t inFlight() const { return framework_->pendingJobs(); }
+    std::size_t
+    inFlight() const
+    {
+        return alive_ ? framework_->pendingJobs() : 0;
+    }
+
+    /** The node accepts probes / submissions / advances. */
+    bool alive() const { return alive_; }
+
+    /** Completed restarts. */
+    std::uint64_t restarts() const { return restarts_; }
+
+    /** A job lost in a crash while waiting for its slot. */
+    struct LostJob
+    {
+        JobId localJob = invalidJob;
+        JobRequest request;
+        InstCount instructions = 0;
+        ExecutionMode mode = ExecutionMode::Strict;
+    };
+
+    /** What a crash destroyed. */
+    struct CrashReport
+    {
+        /** Local ids of jobs that were running (now failed). */
+        std::vector<JobId> failedRunning;
+        /** Waiting jobs the engine may relocate to other nodes. */
+        std::vector<LostJob> waiting;
+    };
+
+    /**
+     * Kill the node at a quantum barrier: fold the framework's
+     * completed work into the carried tallies, count running jobs as
+     * failed, and report waiting jobs for relocation. The node stops
+     * probing, accepting and advancing until restart().
+     */
+    CrashReport crash();
+
+    /**
+     * Bring a crashed node back at time @p now with a fresh, empty
+     * framework (seed derived from node seed + restart ordinal) whose
+     * clock is aligned to the cluster barrier.
+     */
+    void restart(Cycle now);
+
+    /** Count one waiting job that could not be relocated anywhere. */
+    void recordRelocationFailure() { ++carried_.failed; }
+
+    /** Tallies carried over retired incarnations. */
+    const NodeCarried &carried() const { return carried_; }
 
     /**
      * Telemetry: wire @p trace through the node's framework and emit
@@ -73,10 +158,23 @@ class NodeWorker
     void setTrace(TraceRecorder *trace);
 
   private:
+    struct PendingRequest
+    {
+        JobRequest request;
+        InstCount instructions = 0;
+    };
+
     NodeId id_;
+    FrameworkConfig config_;
+    std::uint64_t seed_ = 0;
     std::unique_ptr<QosFramework> framework_;
     TraceRecorder *trace_ = nullptr;
     std::uint64_t placed_ = 0;
+    bool alive_ = true;
+    std::uint64_t restarts_ = 0;
+    NodeCarried carried_;
+    /** Requests of in-flight jobs, for crash-time relocation. */
+    std::unordered_map<JobId, PendingRequest> pendingRequests_;
 };
 
 } // namespace cmpqos

@@ -1,0 +1,108 @@
+#include "injector.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace cmpqos
+{
+
+FaultInjector::FaultInjector(const FaultPlan &plan, Cycle quantum_cycles)
+{
+    cmpqos_assert(quantum_cycles > 0, "injector needs a quantum length");
+    for (const FaultSpec &spec : plan.faults) {
+        const Cycle begin = spec.quantum * quantum_cycles;
+        switch (spec.type) {
+          case FaultType::NodeCrash:
+          case FaultType::NodeRestart:
+            actions_.push_back(
+                {spec.type, spec.node, begin, spec.quantum});
+            break;
+          default:
+            windows_.push_back({spec.type, spec.node, begin,
+                                begin + spec.durationQuanta *
+                                            quantum_cycles,
+                                spec.failures, spec.stallCycles});
+            break;
+        }
+    }
+    // Stable: same-barrier actions keep plan order (a plan may crash
+    // and restart the same node at one barrier; the crash must win).
+    std::stable_sort(actions_.begin(), actions_.end(),
+                     [](const FaultAction &a, const FaultAction &b) {
+                         return a.when < b.when;
+                     });
+}
+
+std::vector<FaultAction>
+FaultInjector::actionsDue(Cycle t)
+{
+    std::vector<FaultAction> due;
+    while (cursor_ < actions_.size() && actions_[cursor_].when <= t)
+        due.push_back(actions_[cursor_++]);
+    return due;
+}
+
+Cycle
+FaultInjector::nextEventTime(Cycle after) const
+{
+    Cycle next = maxCycle;
+    if (cursor_ < actions_.size() && actions_[cursor_].when > after)
+        next = actions_[cursor_].when;
+    for (const Window &w : windows_) {
+        if (w.begin > after && w.begin < next)
+            next = w.begin;
+        else if (w.begin <= after && after < w.end && after + 1 < next)
+            // Window active right now: report immediate activity so
+            // the engine steps quantum-by-quantum instead of jumping
+            // (window faults apply per quantum inside the window).
+            next = after + 1;
+    }
+    return next;
+}
+
+bool
+FaultInjector::inWindow(FaultType type, NodeId node, Cycle t) const
+{
+    for (const Window &w : windows_)
+        if (w.type == type && w.node == node && t >= w.begin &&
+            t < w.end)
+            return true;
+    return false;
+}
+
+bool
+FaultInjector::probeDropped(NodeId node, Cycle t) const
+{
+    return inWindow(FaultType::ProbeDrop, node, t);
+}
+
+unsigned
+FaultInjector::probeTimeoutFailures(NodeId node, Cycle t) const
+{
+    unsigned failures = 0;
+    for (const Window &w : windows_)
+        if (w.type == FaultType::ProbeTimeout && w.node == node &&
+            t >= w.begin && t < w.end)
+            failures = std::max(failures, w.failures);
+    return failures;
+}
+
+bool
+FaultInjector::duplicateReply(NodeId node, Cycle t) const
+{
+    return inWindow(FaultType::DuplicateReply, node, t);
+}
+
+Cycle
+FaultInjector::stallCycles(NodeId node, Cycle t) const
+{
+    Cycle stall = 0;
+    for (const Window &w : windows_)
+        if (w.type == FaultType::SlowQuantum && w.node == node &&
+            t >= w.begin && t < w.end)
+            stall = std::max(stall, w.stall);
+    return stall;
+}
+
+} // namespace cmpqos

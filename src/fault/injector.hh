@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Deterministic execution of a FaultPlan against the cluster engine's
+ * barrier-stepped clock.
+ *
+ * The injector compiles a plan's quantum indices into cycle times once
+ * and then answers two kinds of queries, both made only by the driver
+ * thread at quantum barriers (which is what keeps fault execution
+ * bit-identical at any worker-thread count):
+ *
+ *  - actionsDue(t): crash/restart actions whose barrier has been
+ *    reached, in plan order (a consuming cursor — each action fires
+ *    exactly once);
+ *  - window queries (probeDropped / probeTimeoutFailures /
+ *    duplicateReply / stallCycles): read-only membership tests against
+ *    the compiled [begin, end) cycle windows.
+ *
+ * nextEventTime() lets the engine cap its idle-jump shortcut so a
+ * quantum with scheduled fault activity is never skipped over.
+ */
+
+#ifndef CMPQOS_FAULT_INJECTOR_HH
+#define CMPQOS_FAULT_INJECTOR_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "fault/plan.hh"
+
+namespace cmpqos
+{
+
+/** One compiled crash/restart action. */
+struct FaultAction
+{
+    FaultType type = FaultType::NodeCrash;
+    NodeId node = 0;
+    /** Barrier cycle the action fires at (quantum * quantum_len). */
+    Cycle when = 0;
+    std::uint64_t quantum = 0;
+};
+
+/**
+ * Compiled, replayable fault schedule (see file header).
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultPlan &plan, Cycle quantum_cycles);
+
+    bool empty() const
+    {
+        return actions_.empty() && windows_.empty();
+    }
+
+    /** Crash/restart actions not yet fired. */
+    bool actionsPending() const { return cursor_ < actions_.size(); }
+
+    /**
+     * Consume and return every pending action with `when <= t`, in
+     * schedule order (by barrier cycle, ties by plan order).
+     */
+    std::vector<FaultAction> actionsDue(Cycle t);
+
+    /**
+     * Earliest cycle > @p after at which anything is scheduled — a
+     * pending action or a window opening. maxCycle when nothing is.
+     */
+    Cycle nextEventTime(Cycle after) const;
+
+    /** Probes to @p node at time @p t are silently dropped. */
+    bool probeDropped(NodeId node, Cycle t) const;
+
+    /**
+     * Timed-out probe attempts to @p node at time @p t before one
+     * succeeds (0 = no timeout fault active; max over overlapping
+     * windows).
+     */
+    unsigned probeTimeoutFailures(NodeId node, Cycle t) const;
+
+    /** Node @p node delivers its negotiation reply twice at @p t. */
+    bool duplicateReply(NodeId node, Cycle t) const;
+
+    /** Cycles @p node falls short of a quantum target starting at
+     *  @p t (0 = no slow-quantum window; max over overlaps). */
+    Cycle stallCycles(NodeId node, Cycle t) const;
+
+    bool anyWindows() const { return !windows_.empty(); }
+
+  private:
+    struct Window
+    {
+        FaultType type;
+        NodeId node;
+        Cycle begin;
+        Cycle end;
+        unsigned failures;
+        Cycle stall;
+    };
+
+    bool inWindow(FaultType type, NodeId node, Cycle t) const;
+
+    std::vector<FaultAction> actions_; // sorted by (when, plan order)
+    std::size_t cursor_ = 0;
+    std::vector<Window> windows_;
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_FAULT_INJECTOR_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The invariant-checking oracle: read-only safety properties of one
+ * QoS node, evaluated at quantum barriers (and once more after the
+ * final drain) while fault plans batter the cluster.
+ *
+ * Checked invariants:
+ *  1. way-conservation — reserved way targets never exceed the L2
+ *     associativity (per core and summed over Reserved cores), and no
+ *     cache set holds more owned blocks than it has ways;
+ *  2. strict-partition — a pinned Strict job's core never has a way
+ *     target below the job's reserved share; an Elastic victim never
+ *     drops below the stealing floor (min ways) or below
+ *     target - stolen;
+ *  3. steal-return — while a steal cancellation is in force, every
+ *     stolen way has been returned (the victim's target is restored);
+ *  4. reservation-capacity — the LAC timeline never commits more than
+ *     its capacity at any instant, and no job holds two overlapping
+ *     reservations;
+ *  5. deadline — every *completed* Strict/Elastic job met its
+ *     (possibly renegotiated) deadline. Jobs lost to a crash never
+ *     reach Completed, so the crash exemption is structural: they are
+ *     reported through the failed-job tallies instead.
+ *
+ * Every check is side-effect-free on the simulation (probe-style
+ * reads only), so enabling the checker cannot perturb determinism —
+ * the zero-perturbation property test pins that.
+ *
+ * Violations are deduplicated on (invariant, node, subject) so a
+ * persistent breach reports once, not once per barrier, and each
+ * carries a human-readable detail string for the one-line reproducer.
+ */
+
+#ifndef CMPQOS_FAULT_INVARIANTS_HH
+#define CMPQOS_FAULT_INVARIANTS_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hh"
+#include "qos/framework.hh"
+
+namespace cmpqos
+{
+
+/** One detected invariant breach. */
+struct InvariantViolation
+{
+    /** Invariant key: "way-conservation", "strict-partition",
+     *  "steal-return", "reservation-capacity", "deadline". */
+    std::string invariant;
+    NodeId node = -1;
+    Cycle time = 0;
+    std::string detail;
+
+    std::string format() const;
+};
+
+/**
+ * Snapshot of one node's L2 allocation state — the seam the
+ * way-conservation mutation test corrupts to prove the oracle fires.
+ */
+struct WaySnapshot
+{
+    unsigned assoc = 0;
+    /** Per-core reserved way target (0 for non-Reserved cores). */
+    std::vector<unsigned> reservedTargets;
+    /** Per-set total owned blocks, summed over cores. */
+    std::vector<unsigned> setOwned;
+};
+
+/**
+ * Stateful oracle accumulating violations across barrier checks.
+ */
+class InvariantChecker
+{
+  public:
+    /** @param max_recorded violations kept verbatim; the total count
+     *         keeps growing past it. */
+    explicit InvariantChecker(std::size_t max_recorded = 64);
+
+    /** Run every invariant against one quiescent node. */
+    void checkNode(NodeId node, const QosFramework &fw, Cycle now);
+
+    /** Way-conservation against an explicit snapshot (test seam). */
+    void checkWays(NodeId node, Cycle now, const WaySnapshot &snap);
+
+    /** Capture the allocation state checkWays() consumes. */
+    static WaySnapshot captureWays(const QosFramework &fw);
+
+    bool ok() const { return total_ == 0; }
+    std::uint64_t totalViolations() const { return total_; }
+    std::uint64_t checksRun() const { return checks_; }
+    const std::vector<InvariantViolation> &violations() const
+    {
+        return violations_;
+    }
+
+    /** First @p max violations, one per line (empty when ok()). */
+    std::string report(std::size_t max = 10) const;
+
+  private:
+    void record(const char *invariant, NodeId node, Cycle now,
+                const std::string &subject, std::string detail);
+
+    void checkPartitions(NodeId node, const QosFramework &fw,
+                         Cycle now);
+    void checkStealReturns(NodeId node, const QosFramework &fw,
+                           Cycle now);
+    void checkReservations(NodeId node, const QosFramework &fw,
+                           Cycle now);
+    void checkDeadlines(NodeId node, const QosFramework &fw,
+                        Cycle now);
+
+    std::size_t maxRecorded_;
+    std::vector<InvariantViolation> violations_;
+    std::unordered_set<std::string> reported_;
+    std::uint64_t total_ = 0;
+    std::uint64_t checks_ = 0;
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_FAULT_INVARIANTS_HH

@@ -1,0 +1,218 @@
+#include "plan.hh"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace cmpqos
+{
+
+const char *
+faultTypeName(FaultType t)
+{
+    switch (t) {
+      case FaultType::NodeCrash: return "crash";
+      case FaultType::NodeRestart: return "restart";
+      case FaultType::ProbeDrop: return "probe-drop";
+      case FaultType::ProbeTimeout: return "probe-timeout";
+      case FaultType::DuplicateReply: return "dup-reply";
+      case FaultType::SlowQuantum: return "slow-quantum";
+    }
+    return "?";
+}
+
+namespace
+{
+
+bool
+faultTypeFromName(const std::string &name, FaultType &out)
+{
+    for (FaultType t :
+         {FaultType::NodeCrash, FaultType::NodeRestart,
+          FaultType::ProbeDrop, FaultType::ProbeTimeout,
+          FaultType::DuplicateReply, FaultType::SlowQuantum}) {
+        if (name == faultTypeName(t)) {
+            out = t;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+hasWindow(FaultType t)
+{
+    return t != FaultType::NodeCrash && t != FaultType::NodeRestart;
+}
+
+} // namespace
+
+std::string
+FaultSpec::format() const
+{
+    std::ostringstream os;
+    os << faultTypeName(type) << " " << node << " " << quantum;
+    if (hasWindow(type))
+        os << " " << durationQuanta;
+    if (type == FaultType::ProbeTimeout)
+        os << " " << failures;
+    if (type == FaultType::SlowQuantum)
+        os << " " << stallCycles;
+    return os.str();
+}
+
+std::string
+FaultPlan::summary() const
+{
+    if (faults.empty())
+        return "(empty)";
+    std::string s;
+    for (const FaultSpec &f : faults) {
+        if (!s.empty())
+            s += "; ";
+        s += f.format();
+    }
+    return s;
+}
+
+void
+FaultPlan::write(std::ostream &os) const
+{
+    for (const FaultSpec &f : faults)
+        os << f.format() << "\n";
+}
+
+bool
+FaultPlan::tryParse(std::istream &is, FaultPlan &out, std::string &error)
+{
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream ls(line);
+        std::string word;
+        if (!(ls >> word))
+            continue; // blank / comment-only line
+        FaultSpec spec;
+        if (!faultTypeFromName(word, spec.type)) {
+            error = "line " + std::to_string(lineno) +
+                    ": unknown fault type '" + word + "'";
+            return false;
+        }
+        long long node = -1;
+        if (!(ls >> node >> spec.quantum) || node < 0) {
+            error = "line " + std::to_string(lineno) +
+                    ": expected '" + word + " <node> <quantum> ...'";
+            return false;
+        }
+        spec.node = static_cast<NodeId>(node);
+        if (hasWindow(spec.type)) {
+            if (ls >> spec.durationQuanta) {
+                if (spec.durationQuanta == 0) {
+                    error = "line " + std::to_string(lineno) +
+                            ": window length must be >= 1 quantum";
+                    return false;
+                }
+            } else {
+                spec.durationQuanta = 1;
+            }
+        }
+        if (spec.type == FaultType::ProbeTimeout)
+            ls >> spec.failures;
+        if (spec.type == FaultType::SlowQuantum)
+            ls >> spec.stallCycles;
+        out.faults.push_back(spec);
+    }
+    return true;
+}
+
+FaultPlan
+FaultPlan::parseFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        cmpqos_fatal("cannot open fault plan '%s'", path.c_str());
+    FaultPlan plan;
+    std::string error;
+    if (!tryParse(is, plan, error))
+        cmpqos_fatal("fault plan '%s': %s", path.c_str(),
+                     error.c_str());
+    return plan;
+}
+
+FaultPlan
+FaultPlan::random(std::uint64_t seed, int nodes,
+                  std::uint64_t max_quantum, std::size_t events)
+{
+    cmpqos_assert(nodes > 0, "random plan needs at least one node");
+    cmpqos_assert(max_quantum > 0, "random plan needs a horizon");
+    Rng rng(seed);
+    FaultPlan plan;
+    for (std::size_t i = 0; i < events; ++i) {
+        FaultSpec spec;
+        spec.node = static_cast<NodeId>(
+            rng.uniformInt(static_cast<std::uint64_t>(nodes)));
+        spec.quantum = 1 + rng.uniformInt(max_quantum);
+        switch (rng.uniformInt(5)) {
+          case 0: {
+            spec.type = FaultType::NodeCrash;
+            plan.faults.push_back(spec);
+            // Most crashes heal: pair a restart a few quanta later so
+            // random plans exercise reconciliation both ways.
+            if (rng.uniform() < 0.75) {
+                FaultSpec heal = spec;
+                heal.type = FaultType::NodeRestart;
+                heal.quantum += 1 + rng.uniformInt(4);
+                plan.faults.push_back(heal);
+            }
+            continue;
+          }
+          case 1:
+            spec.type = FaultType::ProbeDrop;
+            spec.durationQuanta = 1 + rng.uniformInt(3);
+            break;
+          case 2:
+            spec.type = FaultType::ProbeTimeout;
+            spec.durationQuanta = 1 + rng.uniformInt(3);
+            // Mix recoverable (within the default retry budget) and
+            // unreachable (beyond it) timeout windows.
+            spec.failures =
+                1 + static_cast<unsigned>(rng.uniformInt(5));
+            break;
+          case 3:
+            spec.type = FaultType::DuplicateReply;
+            spec.durationQuanta = 1 + rng.uniformInt(3);
+            break;
+          default:
+            spec.type = FaultType::SlowQuantum;
+            spec.durationQuanta = 1 + rng.uniformInt(4);
+            spec.stallCycles = 50'000 + rng.uniformInt(400'000);
+            break;
+        }
+        plan.faults.push_back(spec);
+    }
+    return plan;
+}
+
+void
+FaultPlan::validate(int nodes) const
+{
+    for (const FaultSpec &f : faults) {
+        if (f.node < 0 || f.node >= nodes)
+            cmpqos_fatal("fault plan targets node %d, cluster has %d "
+                         "nodes ('%s')",
+                         f.node, nodes, f.format().c_str());
+        if (hasWindow(f.type) && f.durationQuanta == 0)
+            cmpqos_fatal("fault plan window must cover >= 1 quantum "
+                         "('%s')",
+                         f.format().c_str());
+    }
+}
+
+} // namespace cmpqos

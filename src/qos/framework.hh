@@ -212,8 +212,11 @@ class QosFramework
     CmpSystem &system() { return sys_; }
     const CmpSystem &system() const { return sys_; }
     LocalAdmissionController &lac() { return lac_; }
+    const LocalAdmissionController &lac() const { return lac_; }
     Scheduler &scheduler() { return sched_; }
+    const Scheduler &scheduler() const { return sched_; }
     ResourceStealingEngine &stealing() { return steal_; }
+    const ResourceStealingEngine &stealing() const { return steal_; }
 
     const std::vector<std::unique_ptr<Job>> &jobs() const { return jobs_; }
 

@@ -27,7 +27,47 @@ void
 GlobalAdmissionController::addNode(NodeId id, LocalAdmissionController *lac)
 {
     cmpqos_assert(lac != nullptr, "null LAC");
-    nodes_.push_back(NodeEntry{id, lac});
+    nodes_.push_back(NodeEntry{id, lac, true});
+}
+
+void
+GlobalAdmissionController::setNodeAlive(NodeId id, bool alive)
+{
+    for (auto &node : nodes_) {
+        if (node.id == id) {
+            node.alive = alive;
+            return;
+        }
+    }
+    cmpqos_fatal("setNodeAlive: unknown node %d", id);
+}
+
+bool
+GlobalAdmissionController::nodeAlive(NodeId id) const
+{
+    for (const auto &node : nodes_)
+        if (node.id == id)
+            return node.alive;
+    return false;
+}
+
+bool
+GlobalAdmissionController::nodeReachable(const NodeEntry &node) const
+{
+    if (!node.alive)
+        return false;
+    if (!probeFaults_)
+        return true;
+    const unsigned failures = probeFaults_(node.id);
+    if (failures == 0)
+        return true;
+    if (failures > retry_.maxRetries) {
+        ++probeTimeouts_;
+        return false;
+    }
+    probeRetries_ += failures;
+    backoffCycles_ += retry_.totalBackoff(failures);
+    return true;
 }
 
 AdmissionDecision
@@ -69,6 +109,8 @@ GlobalAdmissionController::submit(Job &job, Cycle now)
     std::size_t best_load = 0;
     unsigned best_ways = 0;
     for (const auto &node : nodes_) {
+        if (!nodeReachable(node))
+            continue;
         const AdmissionDecision d = probeNode(node, job, now, 0);
         if (!d.accepted)
             continue;
@@ -142,6 +184,8 @@ GlobalAdmissionController::negotiateDeadline(const Job &job, Cycle now,
         const Cycle relaxed = static_cast<Cycle>(
             std::ceil(static_cast<double>(base) * f));
         for (const auto &node : nodes_) {
+            if (!nodeReachable(node))
+                continue;
             if (probeNode(node, job, now, relaxed).accepted) {
                 if (trace_ != nullptr && trace_->active()) {
                     TraceEvent e = traceEvent(

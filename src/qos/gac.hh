@@ -14,6 +14,7 @@
 #ifndef CMPQOS_QOS_GAC_HH
 #define CMPQOS_QOS_GAC_HH
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -23,6 +24,47 @@
 
 namespace cmpqos
 {
+
+/**
+ * Bounded-retry policy for GAC->LAC probes: a probe that times out is
+ * retried up to maxRetries times with exponential backoff; past the
+ * budget the node counts as unreachable for that placement (it is
+ * skipped, not blocked on). Backoff is charged in virtual cycles so
+ * retry storms show up in the accounting deterministically.
+ */
+struct GacRetryConfig
+{
+    unsigned maxRetries = 3;
+    Cycle backoffBase = 10'000;
+    double backoffMultiplier = 2.0;
+
+    /** Backoff before retry @p attempt (0-based): base * mult^n. */
+    Cycle
+    backoffFor(unsigned attempt) const
+    {
+        double b = static_cast<double>(backoffBase);
+        for (unsigned i = 0; i < attempt; ++i)
+            b *= backoffMultiplier;
+        return static_cast<Cycle>(b);
+    }
+
+    /** Total backoff spent recovering from @p failures timeouts. */
+    Cycle
+    totalBackoff(unsigned failures) const
+    {
+        Cycle total = 0;
+        for (unsigned i = 0; i < failures; ++i)
+            total += backoffFor(i);
+        return total;
+    }
+};
+
+/**
+ * Probe-fault hook: given a node id, how many probe attempts time out
+ * before one succeeds (0 = healthy). Fault injectors install this;
+ * production probes never time out.
+ */
+using ProbeFaultFn = std::function<unsigned(NodeId)>;
 
 /** How the GAC chooses among nodes that can accept a job. */
 enum class GacPolicy
@@ -64,6 +106,27 @@ class GlobalAdmissionController
     std::size_t nodeCount() const { return nodes_.size(); }
 
     /**
+     * Mark a node dead (crash) or alive again (restart). Dead nodes
+     * are excluded from every probe, placement and negotiation pass.
+     */
+    void setNodeAlive(NodeId id, bool alive);
+    bool nodeAlive(NodeId id) const;
+
+    /** Retry/backoff policy for timed-out probes. */
+    void setRetryConfig(const GacRetryConfig &c) { retry_ = c; }
+    const GacRetryConfig &retryConfig() const { return retry_; }
+
+    /** Install (or clear, with nullptr) the probe-fault hook. */
+    void setProbeFaults(ProbeFaultFn fn) { probeFaults_ = std::move(fn); }
+
+    /** Probe retries that eventually succeeded. */
+    std::uint64_t probeRetries() const { return probeRetries_; }
+    /** Probes abandoned after exhausting the retry budget. */
+    std::uint64_t probeTimeouts() const { return probeTimeouts_; }
+    /** Virtual cycles spent in retry backoff. */
+    Cycle backoffCycles() const { return backoffCycles_; }
+
+    /**
      * Probe all nodes and, per policy, submit @p job to the chosen
      * one. On rejection no node state changes.
      */
@@ -94,6 +157,7 @@ class GlobalAdmissionController
     {
         NodeId id;
         LocalAdmissionController *lac;
+        bool alive = true;
     };
 
     /** Probe one node with a possibly modified deadline. */
@@ -101,10 +165,22 @@ class GlobalAdmissionController
                                 Cycle now,
                                 Cycle relative_deadline_override) const;
 
+    /**
+     * Probe-path gate: dead nodes and nodes whose probes exhaust the
+     * retry budget are unreachable (false); recoverable timeouts
+     * charge retries and backoff, then pass.
+     */
+    bool nodeReachable(const NodeEntry &node) const;
+
     GacPolicy policy_;
     std::vector<NodeEntry> nodes_;
     TraceRecorder *trace_ = nullptr;
+    GacRetryConfig retry_;
+    ProbeFaultFn probeFaults_;
     mutable std::uint64_t probes_ = 0;
+    mutable std::uint64_t probeRetries_ = 0;
+    mutable std::uint64_t probeTimeouts_ = 0;
+    mutable Cycle backoffCycles_ = 0;
 };
 
 } // namespace cmpqos

@@ -7,7 +7,8 @@ namespace cmpqos
 
 CmpServer::CmpServer(int num_nodes, const FrameworkConfig &node_config,
                      GacPolicy policy)
-    : placed_(static_cast<std::size_t>(num_nodes), 0), policy_(policy)
+    : placed_(static_cast<std::size_t>(num_nodes), 0),
+      alive_(static_cast<std::size_t>(num_nodes), 1), policy_(policy)
 {
     cmpqos_assert(num_nodes > 0, "server needs at least one node");
     nodes_.reserve(static_cast<std::size_t>(num_nodes));
@@ -35,6 +36,32 @@ CmpServer::attachTelemetry(TraceCollector &collector)
             collector.nodeRecorder(n));
 }
 
+void
+CmpServer::setNodeAlive(NodeId n, bool alive)
+{
+    cmpqos_assert(n >= 0 && n < numNodes(), "node %d out of range", n);
+    alive_[static_cast<std::size_t>(n)] = alive ? 1 : 0;
+}
+
+bool
+CmpServer::nodeReachable(NodeId n)
+{
+    if (!alive_[static_cast<std::size_t>(n)])
+        return false;
+    if (!probeFaults_)
+        return true;
+    const unsigned failures = probeFaults_(n);
+    if (failures == 0)
+        return true;
+    if (failures > retry_.maxRetries) {
+        ++probeTimeouts_;
+        return false;
+    }
+    probeRetries_ += failures;
+    backoffCycles_ += retry_.totalBackoff(failures);
+    return true;
+}
+
 ServerDecision
 CmpServer::submit(const JobRequest &request, InstCount instructions)
 {
@@ -42,6 +69,8 @@ CmpServer::submit(const JobRequest &request, InstCount instructions)
     std::size_t best_load = 0;
     unsigned best_ways = 0;
     for (int n = 0; n < numNodes(); ++n) {
+        if (!nodeReachable(n))
+            continue;
         QosFramework &node = *nodes_[static_cast<std::size_t>(n)];
         ++probes_;
         const AdmissionDecision d = node.probeJob(request, instructions);
@@ -128,6 +157,8 @@ CmpServer::submitNegotiated(const JobRequest &request,
         relaxed.deadlineFactor = request.deadlineFactor * f;
         bool fits = false;
         for (int n = 0; n < numNodes() && !fits; ++n) {
+            if (!nodeReachable(n))
+                continue;
             ++probes_;
             fits = nodes_[static_cast<std::size_t>(n)]
                        ->probeJob(relaxed, instructions)

@@ -79,6 +79,27 @@ class CmpServer
     /** Jobs accepted only after deadline renegotiation. */
     std::uint64_t negotiatedCount() const { return negotiated_; }
 
+    /**
+     * Bounded probe retry with exponential backoff: a timed-out probe
+     * is retried up to the budget, then the node counts as
+     * unreachable for that submission (skipped, not blocked on).
+     */
+    void setRetryConfig(const GacRetryConfig &c) { retry_ = c; }
+    const GacRetryConfig &retryConfig() const { return retry_; }
+
+    /** Install (or clear, with nullptr) the probe-fault hook. */
+    void setProbeFaults(ProbeFaultFn fn) { probeFaults_ = std::move(fn); }
+
+    /** Mark a node dead/alive; dead nodes are never probed. */
+    void setNodeAlive(NodeId n, bool alive);
+
+    /** Probe retries that eventually succeeded. */
+    std::uint64_t probeRetries() const { return probeRetries_; }
+    /** Probes abandoned after exhausting the retry budget. */
+    std::uint64_t probeTimeouts() const { return probeTimeouts_; }
+    /** Virtual cycles charged to retry backoff. */
+    Cycle backoffCycles() const { return backoffCycles_; }
+
     /** Jobs placed on node @p n so far. */
     std::size_t placedOn(NodeId n) const;
 
@@ -95,14 +116,23 @@ class CmpServer
     void attachTelemetry(TraceCollector &collector);
 
   private:
+    /** Dead-node / probe-timeout gate (charges retries + backoff). */
+    bool nodeReachable(NodeId n);
+
     std::vector<std::unique_ptr<QosFramework>> nodes_;
     std::vector<std::size_t> placed_;
+    std::vector<char> alive_;
     TraceRecorder *trace_ = nullptr;
     GacPolicy policy_;
+    GacRetryConfig retry_;
+    ProbeFaultFn probeFaults_;
     std::uint64_t probes_ = 0;
     std::uint64_t accepted_ = 0;
     std::uint64_t rejected_ = 0;
     std::uint64_t negotiated_ = 0;
+    std::uint64_t probeRetries_ = 0;
+    std::uint64_t probeTimeouts_ = 0;
+    Cycle backoffCycles_ = 0;
 };
 
 } // namespace cmpqos

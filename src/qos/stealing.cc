@@ -62,6 +62,13 @@ ResourceStealingEngine::stolenWays(const Job &job) const
     return it == entries_.end() ? 0 : it->second.stolen;
 }
 
+bool
+ResourceStealingEngine::cancelActive(const Job &job) const
+{
+    auto it = entries_.find(job.id());
+    return it != entries_.end() && it->second.cancelled;
+}
+
 void
 ResourceStealingEngine::onQuantum(CoreId core, JobExecution *exec)
 {

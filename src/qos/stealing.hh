@@ -97,6 +97,14 @@ class ResourceStealingEngine
     unsigned stolenWays(const Job &job) const;
 
     /**
+     * Whether a cancellation is currently in force for @p job — the
+     * X% bound tripped and stealing has not (yet) resumed. While
+     * true, every stolen way must have been returned (the
+     * steal-return invariant the fault oracle checks).
+     */
+    bool cancelActive(const Job &job) const;
+
+    /**
      * Telemetry: WayStolen / WayReturned / StealCancelled events.
      * The engine has no clock of its own; @p clock points at the
      * owning Simulation's virtual time (Simulation::clockPtr()).

@@ -37,6 +37,14 @@ const TypeRow rows[numTraceEventTypes] = {
     {"job-terminated", {nullptr, nullptr, nullptr, "cause"}},
     {"quantum-begin", {"target", nullptr, nullptr, nullptr}},
     {"quantum-end", {"target", nullptr, nullptr, nullptr}},
+    {"node-crashed", {"target_node", "quantum", nullptr, nullptr}},
+    {"node-restarted", {"target_node", "quantum", nullptr, nullptr}},
+    {"probe-dropped", {"target_node", nullptr, nullptr, nullptr}},
+    {"probe-timeout", {"target_node", "retries", nullptr, "outcome"}},
+    {"dup-reply-dropped", {"target_node", nullptr, nullptr, nullptr}},
+    {"quantum-stalled", {"target", "stall_cycles", nullptr, nullptr}},
+    {"job-failed", {"target_node", "local_job", nullptr, "cause"}},
+    {"job-relocated", {"from_node", "to_node", nullptr, "outcome"}},
 };
 
 } // namespace

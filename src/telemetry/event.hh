@@ -62,9 +62,27 @@ enum class TraceEventType : std::uint16_t
     QuantumBegin,
     /** Node quantum barrier: advance finished. */
     QuantumEnd,
+    /** Fault injection: node `a` died at quantum barrier `b`. */
+    NodeCrashed,
+    /** Fault recovery: node `a` rejoined with a fresh framework. */
+    NodeRestarted,
+    /** Admission probe to node `a` silently lost (no reply). */
+    ProbeDropped,
+    /** Probe to node `a` timed out `b` times (name: outcome). */
+    ProbeTimeout,
+    /** Duplicated negotiation reply from node `a` was deduplicated. */
+    DuplicateReplyDropped,
+    /** Slow quantum: node fell `b` cycles short of target `a`. */
+    QuantumStalled,
+    /** In-flight job lost (name: cause — "node-crash" or
+     *  "relocation-failed"); never silently dropped. */
+    JobFailed,
+    /** Crash reconciliation moved a job from node `a` to node `b`
+     *  (name: "re-admitted", "negotiated" or "downgraded"). */
+    JobRelocated,
 };
 
-constexpr std::size_t numTraceEventTypes = 17;
+constexpr std::size_t numTraceEventTypes = 25;
 
 /** Kebab-case wire name of an event type ("way-stolen", ...). */
 const char *traceEventName(TraceEventType t);

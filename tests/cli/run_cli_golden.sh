@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# Golden-file tests for the CLI tools. Runs cluster_driver (Poisson
+# and trace-replay-with-faults scenarios) and telemetry_dump against
+# pinned fixtures, normalises the host-dependent fields (wall-clock
+# time and derived rates -- everything else is deterministic at a
+# pinned thread count), and diffs the output against tests/cli/golden.
+#
+# Usage:   run_cli_golden.sh <cluster_driver> <telemetry_dump> <case>
+#          case: driver | dump | all
+# Update:  UPDATE_GOLDEN=1 run_cli_golden.sh ... all
+set -u
+
+DRIVER=${1:?usage: run_cli_golden.sh <cluster_driver> <telemetry_dump> <case>}
+DUMP=${2:?usage: run_cli_golden.sh <cluster_driver> <telemetry_dump> <case>}
+CASE=${3:-all}
+HERE=$(cd "$(dirname "$0")" && pwd)
+FIXTURES=$HERE/fixtures
+GOLDEN=$HERE/golden
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+UPDATE=${UPDATE_GOLDEN:-0}
+STATUS=0
+
+# Strip host-side values: the stdout timing line, and the wall-clock
+# fields on the metrics/trace meta lines. Thread count is pinned by
+# the scenarios, so it is NOT normalised -- a change there is a real
+# regression.
+normalise() {
+    sed -E \
+        -e 's|^host time .*|host time                  (normalised)|' \
+        -e 's|"wall_seconds":[0-9.eE+-]+|"wall_seconds":0|g' \
+        -e 's|wall_seconds=[0-9.eE+-]+|wall_seconds=0|g' \
+        -e 's|"jobs_per_second":[0-9.eE+-]+|"jobs_per_second":0|g'
+}
+
+check() { # <golden-name> <actual-file>
+    local name=$1 file=$2
+    if [ "$UPDATE" = 1 ]; then
+        mkdir -p "$GOLDEN"
+        cp "$file" "$GOLDEN/$name"
+        echo "updated golden/$name"
+        return 0
+    fi
+    if [ ! -f "$GOLDEN/$name" ]; then
+        echo "FAIL: missing golden/$name (run with UPDATE_GOLDEN=1)" >&2
+        STATUS=1
+        return 0
+    fi
+    if ! diff -u "$GOLDEN/$name" "$file"; then
+        echo "FAIL: $name diverged from golden" >&2
+        STATUS=1
+    else
+        echo "ok: $name"
+    fi
+}
+
+# Shared scenario: trace replay + fault plan + invariant oracle. Both
+# the driver goldens and the telemetry_dump goldens feed off this run
+# so the two tools are checked against the SAME event stream.
+run_fault_scenario() {
+    "$DRIVER" --nodes 4 --threads 2 --quantum 500000 --seed 11 \
+        --instructions 400000 \
+        --trace "$FIXTURES/arrivals.trace" \
+        --fault-plan "$FIXTURES/sample.plan" \
+        --check-invariants \
+        --jsonl "$WORK/metrics.jsonl" \
+        --csv "$WORK/nodes.csv" \
+        --trace-out "$WORK/trace.jsonl" \
+        >"$WORK/driver_fault.out" 2>&1
+    local rc=$?
+    if [ "$rc" -ne 0 ]; then
+        echo "FAIL: fault scenario exited $rc (expected 0)" >&2
+        cat "$WORK/driver_fault.out" >&2
+        exit 1
+    fi
+}
+
+case_driver() {
+    # 1. Clean Poisson run: stdout only.
+    "$DRIVER" --nodes 4 --threads 2 --jobs 16 --quantum 500000 \
+        --instructions 400000 --mean-interarrival 150000 --seed 11 \
+        --check-invariants >"$WORK/driver_poisson.out" 2>&1
+    local rc=$?
+    if [ "$rc" -ne 0 ]; then
+        echo "FAIL: poisson scenario exited $rc (expected 0)" >&2
+        cat "$WORK/driver_poisson.out" >&2
+        exit 1
+    fi
+    normalise <"$WORK/driver_poisson.out" >"$WORK/driver_poisson.norm"
+    check driver_poisson.txt "$WORK/driver_poisson.norm"
+
+    # 2. Trace replay with the fault plan: stdout + metrics exports.
+    run_fault_scenario
+    normalise <"$WORK/driver_fault.out" >"$WORK/driver_fault.norm"
+    check driver_fault.txt "$WORK/driver_fault.norm"
+    normalise <"$WORK/metrics.jsonl" >"$WORK/metrics.norm"
+    check driver_fault_metrics.jsonl "$WORK/metrics.norm"
+    check driver_fault_nodes.csv "$WORK/nodes.csv"
+
+    # 3. A malformed plan must fail loudly with the offending line.
+    printf 'crash 1 2\nfrobnicate 0 0\n' >"$WORK/bad.plan"
+    if "$DRIVER" --nodes 2 --jobs 1 --fault-plan "$WORK/bad.plan" \
+        >"$WORK/bad.out" 2>&1; then
+        echo "FAIL: malformed plan was accepted" >&2
+        STATUS=1
+    elif ! grep -q "line 2" "$WORK/bad.out"; then
+        echo "FAIL: parse error does not name line 2:" >&2
+        cat "$WORK/bad.out" >&2
+        STATUS=1
+    else
+        echo "ok: malformed plan rejected with line number"
+    fi
+}
+
+case_dump() {
+    run_fault_scenario
+    "$DUMP" "$WORK/trace.jsonl" >"$WORK/dump_summary.out" 2>&1 || {
+        echo "FAIL: telemetry_dump summary exited non-zero" >&2
+        exit 1
+    }
+    normalise <"$WORK/dump_summary.out" >"$WORK/dump_summary.norm"
+    check dump_summary.txt "$WORK/dump_summary.norm"
+
+    "$DUMP" "$WORK/trace.jsonl" --faults >"$WORK/dump_faults.out" \
+        2>&1 || {
+        echo "FAIL: telemetry_dump --faults exited non-zero" >&2
+        exit 1
+    }
+    normalise <"$WORK/dump_faults.out" >"$WORK/dump_faults.norm"
+    check dump_faults.txt "$WORK/dump_faults.norm"
+}
+
+case "$CASE" in
+    driver) case_driver ;;
+    dump) case_dump ;;
+    all)
+        case_driver
+        case_dump
+        ;;
+    *)
+        echo "unknown case '$CASE' (want driver, dump or all)" >&2
+        exit 1
+        ;;
+esac
+
+exit $STATUS

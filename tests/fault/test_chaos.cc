@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Chaos suite for the fault injector: a crash at EVERY quantum of a
+ * reference run must leave the accounting identities and invariants
+ * intact, and seeded random fault plans must replay bit-identically —
+ * metrics fingerprint and telemetry stream — at 1, 2 and 4 worker
+ * threads. The stress test doubles as the TSan target for the
+ * crash/restart handoff paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "cluster/engine.hh"
+#include "fault/plan.hh"
+#include "telemetry/collector.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+ClusterConfig
+fastCluster(int nodes, unsigned threads)
+{
+    ClusterConfig c;
+    c.nodes = nodes;
+    c.threads = threads;
+    c.quantum = 500'000;
+    c.seed = 11;
+    c.node.cmp.chunkInstructions = 20'000;
+    return c;
+}
+
+ArrivalMix
+fastMix()
+{
+    ArrivalMix mix = ArrivalMix::defaults();
+    mix.instructions = 400'000;
+    return mix;
+}
+
+struct ChaosRun
+{
+    ClusterMetrics metrics;
+    std::string trace;
+    std::uint64_t violations = 0;
+};
+
+ChaosRun
+runChaos(unsigned threads, const FaultPlan &plan,
+         std::uint64_t jobs = 24, bool traced = true)
+{
+    PoissonArrivalProcess arrivals(150'000.0, fastMix(), 123, jobs);
+    ClusterConfig c = fastCluster(4, threads);
+    c.faultPlan = &plan;
+    c.checkInvariants = true;
+
+    std::ostringstream os;
+    TraceCollector collector(c.nodes + 1, TelemetryConfig{});
+    JsonlTraceSink sink(os);
+    if (traced) {
+        collector.addSink(&sink);
+        c.telemetry = &collector;
+    }
+
+    ClusterEngine engine(c);
+    ChaosRun run;
+    run.metrics = engine.runToCompletion(arrivals);
+    if (traced)
+        collector.finish(c.seed, engine.numThreads(),
+                         run.metrics.wallSeconds);
+    run.trace = os.str();
+    run.violations = engine.invariantChecker()->totalViolations();
+    return run;
+}
+
+/** The capture minus its final line (the host-side meta trailer). */
+std::string
+eventLines(const std::string &jsonl)
+{
+    const std::size_t last = jsonl.rfind("{\"ev\":\"meta\"");
+    return last == std::string::npos ? jsonl : jsonl.substr(0, last);
+}
+
+void
+expectAccountingIdentities(const ClusterMetrics &m,
+                           const std::string &context)
+{
+    std::uint64_t placed = 0;
+    for (const auto &n : m.nodes)
+        placed += n.placed;
+    EXPECT_EQ(placed, m.accepted + m.faults.relocated +
+                          m.faults.relocationDowngraded)
+        << context;
+    EXPECT_EQ(m.completed + m.faults.failedJobs, m.accepted)
+        << context;
+}
+
+TEST(Chaos, CrashAtEveryQuantumSweep)
+{
+    // The reference run spans ~9 placement quanta; kill node 1 at
+    // each of them in turn (restarting two quanta later) and demand
+    // clean accounting and invariants every time. Quantum 0 crashes
+    // an empty node; late quanta crash an idle one — both edges are
+    // part of the sweep on purpose.
+    for (std::uint64_t q = 0; q <= 9; ++q) {
+        FaultPlan plan;
+        plan.faults.push_back({FaultType::NodeCrash, 1, q, 1, 1, 0});
+        plan.faults.push_back(
+            {FaultType::NodeRestart, 1, q + 2, 1, 1, 0});
+        const ChaosRun run = runChaos(2, plan, 16, false);
+        const std::string context =
+            "crash at quantum " + std::to_string(q) + " (plan: " +
+            plan.summary() + ")";
+        EXPECT_EQ(run.violations, 0u) << context;
+        EXPECT_EQ(run.metrics.faults.crashes, 1u) << context;
+        EXPECT_EQ(run.metrics.faults.restarts, 1u) << context;
+        EXPECT_TRUE(run.metrics.nodes[1].alive) << context;
+        expectAccountingIdentities(run.metrics, context);
+    }
+}
+
+class ChaosSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ChaosSeeds, RandomPlanDeterministicAcrossThreadCounts)
+{
+    // seed + plan is a complete reproducer: the same seeded random
+    // plan must produce byte-identical metrics AND byte-identical
+    // telemetry at 1, 2 and 4 worker threads.
+    const FaultPlan plan = FaultPlan::random(GetParam(), 4, 8, 6);
+    const ChaosRun r1 = runChaos(1, plan);
+    const ChaosRun r2 = runChaos(2, plan);
+    const ChaosRun r4 = runChaos(4, plan);
+
+    const std::string context = "plan: " + plan.summary();
+    EXPECT_EQ(r1.metrics.fingerprint(), r2.metrics.fingerprint())
+        << context;
+    EXPECT_EQ(r1.metrics.fingerprint(), r4.metrics.fingerprint())
+        << context;
+    EXPECT_EQ(eventLines(r1.trace), eventLines(r2.trace)) << context;
+    EXPECT_EQ(eventLines(r1.trace), eventLines(r4.trace)) << context;
+    EXPECT_EQ(r1.violations, 0u)
+        << context << "\nfingerprint: " << r1.metrics.fingerprint();
+    expectAccountingIdentities(r1.metrics, context);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSeeds,
+                         ::testing::Values(3u, 17u, 29u, 101u));
+
+TEST(Chaos, StressCrashRestartUnderLoad)
+{
+    // TSan target: a dense plan over a longer stream exercises the
+    // crash -> relocate -> restart -> re-place handoffs with all
+    // worker threads live.
+    FaultPlan plan = FaultPlan::random(5, 4, 12, 10);
+    plan.faults.push_back({FaultType::NodeCrash, 0, 3, 1, 1, 0});
+    plan.faults.push_back({FaultType::NodeRestart, 0, 5, 1, 1, 0});
+    plan.faults.push_back({FaultType::NodeCrash, 2, 4, 1, 1, 0});
+    const ChaosRun run = runChaos(4, plan, 48, false);
+    EXPECT_EQ(run.violations, 0u) << "plan: " << plan.summary();
+    expectAccountingIdentities(run.metrics,
+                               "plan: " + plan.summary());
+    EXPECT_GT(run.metrics.faults.crashes, 0u);
+}
+
+TEST(Chaos, SlowQuantumDelaysButNeverCorrupts)
+{
+    FaultPlan plan;
+    plan.faults.push_back(
+        {FaultType::SlowQuantum, 0, 1, 4, 1, 400'000});
+    plan.faults.push_back(
+        {FaultType::SlowQuantum, 2, 2, 3, 1, 250'000});
+    const ChaosRun run = runChaos(2, plan, 24, false);
+    EXPECT_EQ(run.violations, 0u);
+    EXPECT_GT(run.metrics.faults.stalledQuanta, 0u);
+    // Stalls delay completion; they never lose jobs.
+    EXPECT_EQ(run.metrics.completed, run.metrics.accepted);
+    expectAccountingIdentities(run.metrics, "slow-quantum plan");
+}
+
+TEST(Chaos, ProbeFaultsDivertOrRejectButNeverLoseJobs)
+{
+    FaultPlan plan;
+    plan.faults.push_back({FaultType::ProbeDrop, 0, 0, 4, 1, 0});
+    plan.faults.push_back({FaultType::ProbeTimeout, 1, 0, 4, 9, 0});
+    plan.faults.push_back({FaultType::ProbeTimeout, 2, 0, 2, 2, 0});
+    const ChaosRun run = runChaos(2, plan, 24, false);
+    EXPECT_EQ(run.violations, 0u);
+    EXPECT_GT(run.metrics.faults.probesDropped, 0u);
+    EXPECT_GT(run.metrics.faults.probeTimeouts, 0u); // 9 > budget 3
+    EXPECT_GT(run.metrics.faults.probeRetries, 0u);  // 2 <= budget
+    EXPECT_GT(run.metrics.faults.backoffCycles, 0u);
+    // Nodes 0/1 were unreachable early: placements skew elsewhere,
+    // but every accepted job still completes.
+    EXPECT_EQ(run.metrics.completed, run.metrics.accepted);
+    expectAccountingIdentities(run.metrics, "probe-fault plan");
+}
+
+TEST(Chaos, DuplicateRepliesAreDetectedAndDropped)
+{
+    FaultPlan plan;
+    plan.faults.push_back({FaultType::DuplicateReply, 0, 0, 8, 1, 0});
+    plan.faults.push_back({FaultType::DuplicateReply, 3, 0, 8, 1, 0});
+    const ChaosRun run = runChaos(2, plan, 24, false);
+    EXPECT_EQ(run.violations, 0u);
+    EXPECT_GT(run.metrics.faults.duplicateReplies, 0u);
+    // Dedup means the duplicate never double-places: submitted jobs
+    // are placed exactly once each.
+    EXPECT_EQ(run.metrics.completed, run.metrics.accepted);
+    expectAccountingIdentities(run.metrics, "dup-reply plan");
+}
+
+} // namespace
+} // namespace cmpqos

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Invariant-oracle tests: the checker passes on healthy runs, the
+ * fault layer is invisible when unused (zero-perturbation: empty plan
+ * + enabled checker reproduce the fault-free fingerprint and telemetry
+ * stream byte-for-byte), a seeded mutation that breaks
+ * way-conservation makes the oracle fire with a minimal reproducer,
+ * and crashed jobs surface as a distinct failed outcome rather than a
+ * silent drop or a deadline violation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "cluster/engine.hh"
+#include "common/random.hh"
+#include "fault/invariants.hh"
+#include "fault/plan.hh"
+#include "telemetry/collector.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+ClusterConfig
+fastCluster(int nodes, unsigned threads)
+{
+    ClusterConfig c;
+    c.nodes = nodes;
+    c.threads = threads;
+    c.quantum = 500'000;
+    c.seed = 11;
+    c.node.cmp.chunkInstructions = 20'000;
+    return c;
+}
+
+ArrivalMix
+fastMix()
+{
+    ArrivalMix mix = ArrivalMix::defaults();
+    mix.instructions = 400'000;
+    return mix;
+}
+
+struct TracedRun
+{
+    ClusterMetrics metrics;
+    std::string jsonl;
+    std::uint64_t checkerViolations = 0;
+    std::uint64_t checksRun = 0;
+};
+
+TracedRun
+runTraced(unsigned threads, const FaultPlan *plan, bool check,
+          std::uint64_t jobs = 24)
+{
+    PoissonArrivalProcess arrivals(150'000.0, fastMix(), 123, jobs);
+    ClusterConfig c = fastCluster(4, threads);
+    c.faultPlan = plan;
+    c.checkInvariants = check;
+    TraceCollector collector(c.nodes + 1, TelemetryConfig{});
+    std::ostringstream os;
+    JsonlTraceSink sink(os);
+    collector.addSink(&sink);
+    c.telemetry = &collector;
+
+    ClusterEngine engine(c);
+    TracedRun run;
+    run.metrics = engine.runToCompletion(arrivals);
+    collector.finish(c.seed, engine.numThreads(),
+                     run.metrics.wallSeconds);
+    run.jsonl = os.str();
+    if (engine.invariantChecker() != nullptr) {
+        run.checkerViolations =
+            engine.invariantChecker()->totalViolations();
+        run.checksRun = engine.invariantChecker()->checksRun();
+    }
+    return run;
+}
+
+/** The capture minus its final line (the host-side meta trailer). */
+std::string
+eventLines(const std::string &jsonl)
+{
+    const std::size_t last = jsonl.rfind("{\"ev\":\"meta\"");
+    return last == std::string::npos ? jsonl : jsonl.substr(0, last);
+}
+
+/** Placement/accounting identities every drained run must satisfy. */
+void
+expectAccountingIdentities(const ClusterMetrics &m)
+{
+    std::uint64_t placed = 0;
+    std::uint64_t failed = 0;
+    for (const auto &n : m.nodes) {
+        placed += n.placed;
+        failed += n.failed;
+    }
+    // Every placement is an acceptance or a relocation, and every
+    // accepted job either completes somewhere or fails loudly.
+    EXPECT_EQ(placed, m.accepted + m.faults.relocated +
+                          m.faults.relocationDowngraded);
+    EXPECT_EQ(m.faults.failedJobs, failed);
+    EXPECT_EQ(m.completed + m.faults.failedJobs, m.accepted);
+}
+
+TEST(InvariantOracle, CleanRunPassesEveryInvariant)
+{
+    const TracedRun run = runTraced(2, nullptr, true);
+    EXPECT_GT(run.metrics.accepted, 0u);
+    EXPECT_GT(run.checksRun, 0u);
+    EXPECT_EQ(run.checkerViolations, 0u);
+    EXPECT_EQ(run.metrics.invariantViolations, 0u);
+    expectAccountingIdentities(run.metrics);
+}
+
+TEST(InvariantOracle, ZeroPerturbation)
+{
+    // The property this PR's layering hangs on: an empty fault plan
+    // with the checker enabled must be byte-identical — fingerprint
+    // AND telemetry stream — to a run with no fault layer at all.
+    FaultPlan empty;
+    const TracedRun plain = runTraced(2, nullptr, false);
+    const TracedRun armed = runTraced(2, &empty, true);
+    EXPECT_EQ(plain.metrics.fingerprint(), armed.metrics.fingerprint());
+    EXPECT_EQ(eventLines(plain.jsonl), eventLines(armed.jsonl));
+    EXPECT_FALSE(plain.metrics.faults.any());
+    EXPECT_FALSE(armed.metrics.faults.any());
+    // The fingerprint carries no fault fields on fault-free runs.
+    EXPECT_EQ(plain.metrics.fingerprint().find("faults="),
+              std::string::npos);
+}
+
+TEST(InvariantOracle, FaultRunExtendsFingerprintConsistently)
+{
+    FaultPlan plan;
+    plan.faults.push_back({FaultType::NodeCrash, 1, 2, 1, 1, 0});
+    const TracedRun run = runTraced(2, &plan, true);
+    EXPECT_TRUE(run.metrics.faults.any());
+    EXPECT_NE(run.metrics.fingerprint().find("faults="),
+              std::string::npos);
+}
+
+TEST(InvariantOracle, SeededMutationBreaksWayConservation)
+{
+    // The oracle must actually be able to fail: corrupt a captured
+    // way snapshot with a seeded RNG and prove the checker fires with
+    // an actionable, deduplicated report.
+    QosFramework fw(FrameworkConfig{});
+    WaySnapshot snap = InvariantChecker::captureWays(fw);
+    ASSERT_GT(snap.assoc, 0u);
+    ASSERT_FALSE(snap.setOwned.empty());
+    ASSERT_FALSE(snap.reservedTargets.empty());
+
+    InvariantChecker healthy;
+    healthy.checkWays(0, 0, snap);
+    EXPECT_TRUE(healthy.ok()) << healthy.report();
+
+    Rng rng(1234);
+    const std::size_t victim_set =
+        rng.uniformInt(static_cast<std::uint64_t>(snap.setOwned.size()));
+    snap.setOwned[victim_set] = snap.assoc + 1 +
+        static_cast<unsigned>(rng.uniformInt(4));
+    snap.reservedTargets[0] = snap.assoc + 3;
+
+    InvariantChecker checker;
+    checker.checkWays(0, 500'000, snap);
+    EXPECT_FALSE(checker.ok());
+    // Distinct breaches: the per-set overflow, the per-core target,
+    // and the reserved-sum overflow it implies.
+    EXPECT_EQ(checker.totalViolations(), 3u);
+    const std::string report = checker.report();
+    EXPECT_NE(report.find("way-conservation"), std::string::npos);
+    EXPECT_NE(report.find("associativity"), std::string::npos);
+
+    // Re-checking the same broken state reports nothing new (dedup on
+    // (invariant, node, subject), not once per barrier).
+    checker.checkWays(0, 1'000'000, snap);
+    EXPECT_EQ(checker.totalViolations(), 3u);
+}
+
+TEST(InvariantOracle, CrashedJobsFailLoudlyAndDeadlinesHold)
+{
+    // Crash node 1 mid-run and never restart it: running jobs become
+    // failures (a distinct outcome), waiting jobs relocate, and no
+    // *completed* Strict/Elastic job may miss its deadline — the
+    // crash exemption is structural, not a checker loophole.
+    FaultPlan plan;
+    plan.faults.push_back({FaultType::NodeCrash, 1, 2, 1, 1, 0});
+    const TracedRun run = runTraced(2, &plan, true, 32);
+
+    EXPECT_EQ(run.metrics.faults.crashes, 1u);
+    EXPECT_FALSE(run.metrics.nodes[1].alive);
+    EXPECT_EQ(run.checkerViolations, 0u) << "deadline/partition "
+                                            "invariants must hold on "
+                                            "surviving nodes";
+    expectAccountingIdentities(run.metrics);
+    // The run actually lost or moved something (node 1 had load by
+    // quantum 2 under this seed).
+    EXPECT_GT(run.metrics.faults.failedJobs +
+                  run.metrics.faults.relocated +
+                  run.metrics.faults.relocationDowngraded +
+                  run.metrics.faults.relocationRejected,
+              0u);
+}
+
+TEST(InvariantOracle, RestartRecoversPlacementCapacity)
+{
+    FaultPlan plan;
+    plan.faults.push_back({FaultType::NodeCrash, 1, 1, 1, 1, 0});
+    plan.faults.push_back({FaultType::NodeRestart, 1, 3, 1, 1, 0});
+    const TracedRun run = runTraced(2, &plan, true, 32);
+    EXPECT_EQ(run.metrics.faults.crashes, 1u);
+    EXPECT_EQ(run.metrics.faults.restarts, 1u);
+    EXPECT_TRUE(run.metrics.nodes[1].alive);
+    EXPECT_EQ(run.metrics.nodes[1].restarts, 1u);
+    EXPECT_EQ(run.checkerViolations, 0u);
+    expectAccountingIdentities(run.metrics);
+}
+
+TEST(InvariantOracle, ViolationFormatIsAReproducerLine)
+{
+    InvariantChecker checker;
+    WaySnapshot snap;
+    snap.assoc = 4;
+    snap.reservedTargets = {9};
+    checker.checkWays(3, 42, snap);
+    ASSERT_FALSE(checker.ok());
+    const InvariantViolation &v = checker.violations().front();
+    EXPECT_EQ(v.node, 3);
+    EXPECT_EQ(v.time, 42u);
+    const std::string line = v.format();
+    EXPECT_NE(line.find("way-conservation"), std::string::npos);
+    EXPECT_NE(line.find("node=3"), std::string::npos);
+}
+
+} // namespace
+} // namespace cmpqos

@@ -21,6 +21,7 @@
 
 #include "cluster/engine.hh"
 #include "common/logging.hh"
+#include "fault/plan.hh"
 #include "telemetry/collector.hh"
 
 using namespace cmpqos;
@@ -52,7 +53,12 @@ usage(const char *argv0)
         "                         per line; inspect with telemetry_dump)\n"
         "  --trace-chrome FILE    write the event trace in Chrome trace-event\n"
         "                         JSON (open in chrome://tracing or Perfetto)\n"
-        "  --trace-capacity N     per-producer ring slots (default 32768)\n",
+        "  --trace-capacity N     per-producer ring slots (default 32768)\n"
+        "  --fault-plan FILE      inject the fault plan in FILE (crash,\n"
+        "                         restart, probe-drop, probe-timeout,\n"
+        "                         dup-reply, slow-quantum directives)\n"
+        "  --check-invariants     run the invariant oracle at every quantum\n"
+        "                         barrier; exit 2 on any violation\n",
         argv0);
 }
 
@@ -82,7 +88,9 @@ main(int argc, char **argv)
     Cycle duration = 0;
     std::string trace_path, jsonl_path, csv_path;
     std::string trace_out_path, trace_chrome_path;
+    std::string fault_plan_path;
     TelemetryConfig telemetry_config;
+    FaultPlan fault_plan;
 
     auto value = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -128,6 +136,10 @@ main(int argc, char **argv)
         } else if (arg == "--trace-capacity") {
             telemetry_config.ringCapacity =
                 std::strtoull(value(i), nullptr, 10);
+        } else if (arg == "--fault-plan") {
+            fault_plan_path = value(i);
+        } else if (arg == "--check-invariants") {
+            config.checkInvariants = true;
         } else {
             usage(argv[0]);
             cmpqos_fatal("unknown option '%s'", arg.c_str());
@@ -177,11 +189,21 @@ main(int argc, char **argv)
         config.telemetry = collector.get();
     }
 
+    if (!fault_plan_path.empty()) {
+        fault_plan = FaultPlan::parseFile(fault_plan_path);
+        fault_plan.validate(config.nodes);
+        config.faultPlan = &fault_plan;
+    }
+
     ClusterEngine engine(config);
     std::printf("cluster: %d nodes, %u threads, %s placement, seed %llu\n",
                 engine.numNodes(), engine.numThreads(),
                 gacPolicyName(config.policy),
                 static_cast<unsigned long long>(config.seed));
+    if (!fault_plan.empty())
+        std::printf("fault plan: %zu directives (%s)\n",
+                    fault_plan.faults.size(),
+                    fault_plan.summary().c_str());
 
     const ClusterMetrics m =
         duration == 0 ? engine.runToCompletion(*arrivals)
@@ -219,11 +241,36 @@ main(int argc, char **argv)
                 m.wallSeconds, m.jobsPerWallSecond());
     for (const auto &n : m.nodes)
         std::printf("  node %-3d placed %-4llu completed %-4llu "
-                    "util %.2f stolen-ways %llu\n",
+                    "util %.2f stolen-ways %llu%s\n",
                     n.node, static_cast<unsigned long long>(n.placed),
                     static_cast<unsigned long long>(n.completed),
                     n.utilisation,
-                    static_cast<unsigned long long>(n.stolenWays));
+                    static_cast<unsigned long long>(n.stolenWays),
+                    n.alive ? "" : " [down]");
+    if (m.faults.any())
+        std::printf("%-26s %llu crashes, %llu restarts, %llu failed, "
+                    "%llu relocated (%llu downgraded, %llu rejected), "
+                    "%llu probes dropped, %llu probe timeouts, "
+                    "%llu dup replies, %llu stalled quanta\n",
+                    "faults",
+                    static_cast<unsigned long long>(m.faults.crashes),
+                    static_cast<unsigned long long>(m.faults.restarts),
+                    static_cast<unsigned long long>(m.faults.failedJobs),
+                    static_cast<unsigned long long>(
+                        m.faults.relocated +
+                        m.faults.relocationDowngraded),
+                    static_cast<unsigned long long>(
+                        m.faults.relocationDowngraded),
+                    static_cast<unsigned long long>(
+                        m.faults.relocationRejected),
+                    static_cast<unsigned long long>(
+                        m.faults.probesDropped),
+                    static_cast<unsigned long long>(
+                        m.faults.probeTimeouts),
+                    static_cast<unsigned long long>(
+                        m.faults.duplicateReplies),
+                    static_cast<unsigned long long>(
+                        m.faults.stalledQuanta));
 
     if (!jsonl_path.empty())
         MetricsExporter::writeJsonlFile(m, jsonl_path);
@@ -238,6 +285,31 @@ main(int argc, char **argv)
                         collector->eventsDelivered()),
                     static_cast<unsigned long long>(
                         collector->totalDrops()));
+    }
+
+    if (config.checkInvariants) {
+        const InvariantChecker *checker = engine.invariantChecker();
+        std::printf("%-26s %llu checks, %llu violations\n",
+                    "invariants",
+                    static_cast<unsigned long long>(
+                        checker->checksRun()),
+                    static_cast<unsigned long long>(
+                        checker->totalViolations()));
+        if (!checker->ok()) {
+            std::printf("%s", checker->report().c_str());
+            // Reproducer: seed + plan fully replays the failure.
+            std::printf("reproducer: --seed %llu --nodes %d "
+                        "--quantum %llu%s%s\n",
+                        static_cast<unsigned long long>(config.seed),
+                        config.nodes,
+                        static_cast<unsigned long long>(
+                            config.quantum),
+                        fault_plan.empty() ? "" : " --fault-plan ",
+                        fault_plan.empty()
+                            ? ""
+                            : fault_plan_path.c_str());
+            return 2;
+        }
     }
     return 0;
 }

@@ -322,10 +322,44 @@ printSteals(const Capture &cap)
 }
 
 void
+printFaults(const Capture &cap)
+{
+    auto isFault = [](TraceEventType t) {
+        switch (t) {
+          case TraceEventType::NodeCrashed:
+          case TraceEventType::NodeRestarted:
+          case TraceEventType::ProbeDropped:
+          case TraceEventType::ProbeTimeout:
+          case TraceEventType::DuplicateReplyDropped:
+          case TraceEventType::QuantumStalled:
+          case TraceEventType::JobFailed:
+          case TraceEventType::JobRelocated:
+            return true;
+          default:
+            return false;
+        }
+    };
+    std::map<std::string, std::size_t> byType;
+    std::size_t total = 0;
+    for (const auto &r : cap.events) {
+        if (!isFault(r.type))
+            continue;
+        ++total;
+        ++byType[traceEventName(r.type)];
+    }
+    std::printf("%zu fault/recovery events\n", total);
+    for (const auto &[name, count] : byType)
+        std::printf("  %6zu  %s\n", count, name.c_str());
+    for (const auto &r : cap.events)
+        if (isFault(r.type))
+            printEvent(r);
+}
+
+void
 usage(const char *argv0)
 {
     std::printf("usage: %s TRACE.jsonl [--jobs | --job SEQ | --steals "
-                "| --rejections]\n",
+                "| --rejections | --faults]\n",
                 argv0);
 }
 
@@ -353,6 +387,8 @@ main(int argc, char **argv)
             mode = "steals";
         } else if (arg == "--rejections") {
             mode = "rejections";
+        } else if (arg == "--faults") {
+            mode = "faults";
         } else if (path.empty()) {
             path = arg;
         } else {
@@ -377,6 +413,8 @@ main(int argc, char **argv)
         printSteals(cap);
     } else if (mode == "rejections") {
         printRejections(cap);
+    } else if (mode == "faults") {
+        printFaults(cap);
     }
     return 0;
 }
