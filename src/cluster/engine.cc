@@ -412,6 +412,8 @@ ClusterEngine::advanceAll(Cycle from, Cycle to)
 ClusterMetrics
 ClusterEngine::run(ArrivalProcess &arrivals, Cycle horizon, bool drain)
 {
+    // detlint:allow(wall-clock): measurement-only host wall time for
+    // the metrics snapshot; never feeds virtual time or placement.
     const auto wall_start = std::chrono::steady_clock::now();
 
     std::optional<ClusterArrival> pending = arrivals.next();
@@ -486,6 +488,8 @@ ClusterEngine::run(ArrivalProcess &arrivals, Cycle horizon, bool drain)
     if (checker_ != nullptr)
         checkAll();
 
+    // detlint:allow(wall-clock): measurement-only host wall time for
+    // the metrics snapshot; never feeds virtual time or placement.
     const auto wall_end = std::chrono::steady_clock::now();
     wallSeconds_ +=
         std::chrono::duration<double>(wall_end - wall_start).count();
@@ -495,6 +499,9 @@ ClusterEngine::run(ArrivalProcess &arrivals, Cycle horizon, bool drain)
 ClusterMetrics
 ClusterEngine::runToCompletion(ArrivalProcess &arrivals)
 {
+    // The calling thread is the driver for the whole run: the barrier
+    // protocol gives it exclusive use of the placement machinery.
+    driver_.grant();
     return run(arrivals, maxCycle, true);
 }
 
@@ -502,6 +509,7 @@ ClusterMetrics
 ClusterEngine::runForDuration(ArrivalProcess &arrivals, Cycle duration)
 {
     cmpqos_assert(duration > 0, "duration must be > 0");
+    driver_.grant();
     return run(arrivals, duration, false);
 }
 

@@ -28,6 +28,7 @@
 #include "cluster/arrival.hh"
 #include "cluster/metrics.hh"
 #include "cluster/node_worker.hh"
+#include "common/annotations.hh"
 #include "common/thread_pool.hh"
 #include "fault/injector.hh"
 #include "fault/invariants.hh"
@@ -115,7 +116,14 @@ class ClusterEngine
 
     /** Driver-side fault tallies so far (failedJobs lives in the
      *  per-node metrics; see snapshot()). */
-    const FaultTallies &faultTallies() const { return faults_; }
+    const FaultTallies &
+    faultTallies() const
+    {
+        // Read between runs on the thread that drove them: the same
+        // barrier protocol that makes run() exclusive covers this.
+        driver_.grant();
+        return faults_;
+    }
 
   private:
     struct Placement
@@ -126,8 +134,9 @@ class ClusterEngine
     };
 
     ClusterMetrics run(ArrivalProcess &arrivals, Cycle horizon,
-                       bool drain);
-    Placement place(const ClusterArrival &arrival);
+                       bool drain) CMPQOS_REQUIRES(driver_);
+    Placement place(const ClusterArrival &arrival)
+        CMPQOS_REQUIRES(driver_);
     /**
      * Choose among accepting nodes per policy; -1 if none accept.
      * Dead nodes never probe. @p probe_faults applies the current
@@ -135,16 +144,25 @@ class ClusterEngine
      * from its own records, not through a lossy probe).
      */
     NodeId choose(const JobRequest &request, InstCount instructions,
-                  bool probe_faults = true);
-    void advanceAll(Cycle from, Cycle to);
-    ClusterMetrics snapshot() const;
+                  bool probe_faults = true) CMPQOS_REQUIRES(driver_);
+    void advanceAll(Cycle from, Cycle to) CMPQOS_REQUIRES(driver_);
+    ClusterMetrics snapshot() const CMPQOS_REQUIRES(driver_);
 
     // Fault machinery (all driver-thread, all barrier-aligned).
-    void applyFaultActions(Cycle t);
+    void applyFaultActions(Cycle t) CMPQOS_REQUIRES(driver_);
     void relocate(NodeId origin, const NodeWorker::LostJob &lost,
-                  Cycle t);
-    void refreshProbeFaults(Cycle t);
-    void checkAll();
+                  Cycle t) CMPQOS_REQUIRES(driver_);
+    void refreshProbeFaults(Cycle t) CMPQOS_REQUIRES(driver_);
+    void checkAll() CMPQOS_REQUIRES(driver_);
+
+    /**
+     * The driver role: placement, fault actions, telemetry drains and
+     * the admission counters all belong to the one thread driving
+     * run(). runToCompletion/runForDuration assert it (the caller's
+     * thread becomes the driver for the duration of the call); the
+     * private machinery requires it.
+     */
+    OwnerRole driver_;
 
     ClusterConfig config_;
     ThreadPool pool_;
@@ -153,21 +171,23 @@ class ClusterEngine
 
     std::unique_ptr<FaultInjector> injector_;
     std::unique_ptr<InvariantChecker> checker_;
-    FaultTallies faults_;
+    FaultTallies faults_ CMPQOS_GUARDED_BY(driver_);
     /** Per-node probe-fault skip set for the arrival being placed. */
-    std::vector<char> probeSkip_;
+    std::vector<char> probeSkip_ CMPQOS_GUARDED_BY(driver_);
     /** Arrival seqs whose acceptance committed (duplicate-reply
      *  dedup; maintained only under an active injector). */
-    std::unordered_set<std::uint64_t> committedSeqs_;
+    std::unordered_set<std::uint64_t> committedSeqs_
+        CMPQOS_GUARDED_BY(driver_);
 
     // Driver-side admission counters.
-    std::uint64_t submitted_ = 0;
-    std::uint64_t accepted_ = 0;
-    std::uint64_t rejected_ = 0;
-    std::uint64_t negotiated_ = 0;
-    std::uint64_t truncated_ = 0;
-    std::array<std::uint64_t, numQosTiers> acceptedByTier_{};
-    double wallSeconds_ = 0.0;
+    std::uint64_t submitted_ CMPQOS_GUARDED_BY(driver_) = 0;
+    std::uint64_t accepted_ CMPQOS_GUARDED_BY(driver_) = 0;
+    std::uint64_t rejected_ CMPQOS_GUARDED_BY(driver_) = 0;
+    std::uint64_t negotiated_ CMPQOS_GUARDED_BY(driver_) = 0;
+    std::uint64_t truncated_ CMPQOS_GUARDED_BY(driver_) = 0;
+    std::array<std::uint64_t, numQosTiers>
+        acceptedByTier_ CMPQOS_GUARDED_BY(driver_){};
+    double wallSeconds_ CMPQOS_GUARDED_BY(driver_) = 0.0;
 };
 
 } // namespace cmpqos

@@ -18,6 +18,7 @@ NodeWorker::NodeWorker(NodeId id, const FrameworkConfig &config,
 void
 NodeWorker::setTrace(TraceRecorder *trace)
 {
+    owner_.grant();
     trace_ = trace;
     framework_->setTrace(trace);
 }
@@ -25,6 +26,7 @@ NodeWorker::setTrace(TraceRecorder *trace)
 void
 NodeWorker::advanceTo(Cycle t, Cycle stall)
 {
+    owner_.grant();
     if (!alive_)
         return;
     Simulation &sim = framework_->simulation();
@@ -65,6 +67,7 @@ NodeWorker::advanceTo(Cycle t, Cycle stall)
 void
 NodeWorker::drain()
 {
+    owner_.grant();
     if (!alive_)
         return;
     framework_->runToCompletion();
@@ -73,6 +76,7 @@ NodeWorker::drain()
 AdmissionDecision
 NodeWorker::probe(const JobRequest &request, InstCount instructions) const
 {
+    owner_.grant();
     cmpqos_assert(alive_, "probe on dead node %d", id_);
     return framework_->probeJob(request, instructions);
 }
@@ -80,6 +84,7 @@ NodeWorker::probe(const JobRequest &request, InstCount instructions) const
 Job *
 NodeWorker::submit(const JobRequest &request, InstCount instructions)
 {
+    owner_.grant();
     cmpqos_assert(alive_, "submit on dead node %d", id_);
     Job *job = framework_->submitJob(request, instructions);
     if (job != nullptr) {
@@ -92,6 +97,7 @@ NodeWorker::submit(const JobRequest &request, InstCount instructions)
 NodeWorker::CrashReport
 NodeWorker::crash()
 {
+    owner_.grant();
     cmpqos_assert(alive_, "crash on already-dead node %d", id_);
     CrashReport report;
     const QosFramework &fw = *framework_;
@@ -144,6 +150,7 @@ NodeWorker::crash()
 void
 NodeWorker::restart(Cycle now)
 {
+    owner_.grant();
     cmpqos_assert(!alive_, "restart on live node %d", id_);
     ++restarts_;
     // Deterministic incarnation seed: node seed split by the restart

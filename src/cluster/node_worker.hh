@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.hh"
 #include "qos/framework.hh"
 
 namespace cmpqos
@@ -63,13 +64,26 @@ class NodeWorker
                std::uint64_t seed);
 
     NodeId id() const { return id_; }
-    QosFramework &framework() { return *framework_; }
-    const QosFramework &framework() const { return *framework_; }
+
+    QosFramework &
+    framework()
+    {
+        owner_.grant();
+        return *framework_;
+    }
+
+    const QosFramework &
+    framework() const
+    {
+        owner_.grant();
+        return *framework_;
+    }
 
     /** Node-local virtual time (frozen at the crash while dead). */
     Cycle
     virtualNow() const
     {
+        owner_.grant();
         return alive_ ? framework_->simulation().now()
                       : carried_.virtualTime;
     }
@@ -95,20 +109,36 @@ class NodeWorker
     Job *submit(const JobRequest &request, InstCount instructions);
 
     /** Jobs placed on this node so far (all incarnations). */
-    std::uint64_t placed() const { return placed_; }
+    std::uint64_t
+    placed() const
+    {
+        owner_.grant();
+        return placed_;
+    }
 
     /** Jobs currently in flight (submitted, not finished). */
     std::size_t
     inFlight() const
     {
+        owner_.grant();
         return alive_ ? framework_->pendingJobs() : 0;
     }
 
     /** The node accepts probes / submissions / advances. */
-    bool alive() const { return alive_; }
+    bool
+    alive() const
+    {
+        owner_.grant();
+        return alive_;
+    }
 
     /** Completed restarts. */
-    std::uint64_t restarts() const { return restarts_; }
+    std::uint64_t
+    restarts() const
+    {
+        owner_.grant();
+        return restarts_;
+    }
 
     /** A job lost in a crash while waiting for its slot. */
     struct LostJob
@@ -144,10 +174,20 @@ class NodeWorker
     void restart(Cycle now);
 
     /** Count one waiting job that could not be relocated anywhere. */
-    void recordRelocationFailure() { ++carried_.failed; }
+    void
+    recordRelocationFailure()
+    {
+        owner_.grant();
+        ++carried_.failed;
+    }
 
     /** Tallies carried over retired incarnations. */
-    const NodeCarried &carried() const { return carried_; }
+    const NodeCarried &
+    carried() const
+    {
+        owner_.grant();
+        return carried_;
+    }
 
     /**
      * Telemetry: wire @p trace through the node's framework and emit
@@ -164,17 +204,28 @@ class NodeWorker
         InstCount instructions = 0;
     };
 
+    /**
+     * The ownership role behind the "one thread at a time" comment
+     * above: the driver between quanta, exactly one pool worker
+     * during one. Every public entry point asserts it, and all
+     * mutable node state is guarded by it, so any future access path
+     * that bypasses the barrier handoff shows up as a thread-safety
+     * error instead of a data race.
+     */
+    OwnerRole owner_;
+
     NodeId id_;
     FrameworkConfig config_;
     std::uint64_t seed_ = 0;
-    std::unique_ptr<QosFramework> framework_;
-    TraceRecorder *trace_ = nullptr;
-    std::uint64_t placed_ = 0;
-    bool alive_ = true;
-    std::uint64_t restarts_ = 0;
-    NodeCarried carried_;
+    std::unique_ptr<QosFramework> framework_ CMPQOS_GUARDED_BY(owner_);
+    TraceRecorder *trace_ CMPQOS_GUARDED_BY(owner_) = nullptr;
+    std::uint64_t placed_ CMPQOS_GUARDED_BY(owner_) = 0;
+    bool alive_ CMPQOS_GUARDED_BY(owner_) = true;
+    std::uint64_t restarts_ CMPQOS_GUARDED_BY(owner_) = 0;
+    NodeCarried carried_ CMPQOS_GUARDED_BY(owner_);
     /** Requests of in-flight jobs, for crash-time relocation. */
-    std::unordered_map<JobId, PendingRequest> pendingRequests_;
+    std::unordered_map<JobId, PendingRequest> pendingRequests_
+        CMPQOS_GUARDED_BY(owner_);
 };
 
 } // namespace cmpqos

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Clang thread-safety annotations for the concurrent subsystems.
+ *
+ * The macros expand to Clang's capability attributes when compiling
+ * with Clang and to nothing everywhere else, so annotated code builds
+ * unchanged under GCC. The `CMPQOS_THREAD_SAFETY` CMake option turns
+ * on `-Wthread-safety` (Clang only); with `CMPQOS_WERROR=ON` any
+ * violation of the contracts below fails the build.
+ *
+ * Two kinds of capability are used in this codebase:
+ *
+ *  - cmpqos::Mutex, a real lock (wrapping std::mutex) whose
+ *    acquire/release sites the analysis tracks exactly. ThreadPool is
+ *    the one class with genuinely contended state, and it is fully
+ *    checked: every access to its batch-cursor fields must hold mu_.
+ *
+ *  - cmpqos::OwnerRole, a phantom capability with no runtime state.
+ *    Most shared structures here (NodeWorker, ClusterEngine's
+ *    admission counters, the telemetry collector's consumer side, the
+ *    SPSC ring endpoints) are not lock-protected: exclusivity comes
+ *    from the barrier-stepped ownership protocol (see engine.hh).
+ *    A role names that protocol so the compiler can still enforce the
+ *    *internal* discipline — members tagged CMPQOS_GUARDED_BY(role)
+ *    are only reachable through entry points that assert the role,
+ *    and private helpers declare CMPQOS_REQUIRES(role) so they cannot
+ *    be called from a context that never established ownership.
+ *    grant() is Clang's assert_capability: "the surrounding protocol
+ *    guarantees exclusivity here" — exactly the barrier handoff.
+ */
+
+#ifndef CMPQOS_COMMON_ANNOTATIONS_HH
+#define CMPQOS_COMMON_ANNOTATIONS_HH
+
+#include <mutex>
+
+#if defined(__clang__)
+#define CMPQOS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CMPQOS_THREAD_ANNOTATION(x)
+#endif
+
+/** Marks a class as a lockable capability (name shown in warnings). */
+#define CMPQOS_CAPABILITY(x) CMPQOS_THREAD_ANNOTATION(capability(x))
+/** Marks an RAII class whose lifetime holds a capability. */
+#define CMPQOS_SCOPED_CAPABILITY CMPQOS_THREAD_ANNOTATION(scoped_lockable)
+/** Data member readable/writable only while holding @p x. */
+#define CMPQOS_GUARDED_BY(x) CMPQOS_THREAD_ANNOTATION(guarded_by(x))
+/** Pointee readable/writable only while holding @p x. */
+#define CMPQOS_PT_GUARDED_BY(x) CMPQOS_THREAD_ANNOTATION(pt_guarded_by(x))
+/** Function callable only while holding the listed capabilities. */
+#define CMPQOS_REQUIRES(...) \
+    CMPQOS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/** Function callable while holding the capabilities at least shared. */
+#define CMPQOS_REQUIRES_SHARED(...) \
+    CMPQOS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+/** Function acquires the listed capabilities (or `this` if empty). */
+#define CMPQOS_ACQUIRE(...) \
+    CMPQOS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/** Function releases the listed capabilities (or `this` if empty). */
+#define CMPQOS_RELEASE(...) \
+    CMPQOS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/** Function conditionally acquires; first arg is the success value. */
+#define CMPQOS_TRY_ACQUIRE(...) \
+    CMPQOS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/** Function must NOT be called while holding the capabilities. */
+#define CMPQOS_EXCLUDES(...) \
+    CMPQOS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/** Asserts (without acquiring) that @p x is held past this call. */
+#define CMPQOS_ASSERT_CAPABILITY(x) \
+    CMPQOS_THREAD_ANNOTATION(assert_capability(x))
+/** Function returns a reference aliasing capability @p x. */
+#define CMPQOS_RETURN_CAPABILITY(x) \
+    CMPQOS_THREAD_ANNOTATION(lock_returned(x))
+/** Opt a function out of the analysis (use sparingly, say why). */
+#define CMPQOS_NO_THREAD_SAFETY_ANALYSIS \
+    CMPQOS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace cmpqos
+{
+
+/**
+ * std::mutex wrapped as an annotated capability. libstdc++'s
+ * std::mutex carries no capability attributes, so guarded data would
+ * be invisible to the analysis without this shim.
+ */
+class CMPQOS_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() CMPQOS_ACQUIRE() { m_.lock(); }
+    void unlock() CMPQOS_RELEASE() { m_.unlock(); }
+    bool try_lock() CMPQOS_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  private:
+    std::mutex m_;
+};
+
+/**
+ * RAII lock for cmpqos::Mutex, with manual unlock()/lock() for
+ * drop-the-lock-around-work sections. Satisfies BasicLockable, so it
+ * is the lock argument for std::condition_variable_any waits (the
+ * wait's internal unlock/relock happens inside a system header, which
+ * the analysis treats as opaque — the capability is considered held
+ * across the wait, which is exactly the guarantee re-established on
+ * wakeup).
+ */
+class CMPQOS_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &m) CMPQOS_ACQUIRE(m) : mu_(m), held_(true)
+    {
+        mu_.lock();
+    }
+
+    ~MutexLock() CMPQOS_RELEASE()
+    {
+        if (held_)
+            mu_.unlock();
+    }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    /** Temporarily drop the lock (re-take with lock()). */
+    void
+    unlock() CMPQOS_RELEASE()
+    {
+        mu_.unlock();
+        held_ = false;
+    }
+
+    /** Re-take a lock dropped with unlock(). */
+    void
+    lock() CMPQOS_ACQUIRE()
+    {
+        mu_.lock();
+        held_ = true;
+    }
+
+  private:
+    Mutex &mu_;
+    bool held_;
+};
+
+/**
+ * A phantom capability for protocol-established exclusive ownership.
+ *
+ * No runtime state and no blocking: grant() tells the analysis that
+ * the calling context owns the role, which is true by construction of
+ * the surrounding protocol (the cluster engine's quantum barriers
+ * hand each NodeWorker to exactly one thread at a time; the driver
+ * thread alone runs placement and drains telemetry). Public entry
+ * points grant the role they embody; private helpers declare
+ * CMPQOS_REQUIRES(role) so they are uncallable from unowned contexts.
+ */
+class CMPQOS_CAPABILITY("role") OwnerRole
+{
+  public:
+    OwnerRole() = default;
+    OwnerRole(const OwnerRole &) = delete;
+    OwnerRole &operator=(const OwnerRole &) = delete;
+
+    /** Assert that the ownership protocol grants the caller this
+     *  role for the duration of the enclosing scope. */
+    void grant() const CMPQOS_ASSERT_CAPABILITY(this) {}
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_COMMON_ANNOTATIONS_HH

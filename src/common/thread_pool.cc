@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(unsigned num_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         shutdown_ = true;
     }
     workReady_.notify_all();
@@ -37,7 +37,7 @@ ThreadPool::parallelFor(std::size_t n,
 {
     if (n == 0)
         return;
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     cmpqos_assert(fn_ == nullptr,
                   "parallelFor is not reentrant (fn called the pool?)");
     fn_ = &fn;
@@ -46,7 +46,8 @@ ThreadPool::parallelFor(std::size_t n,
     completed_ = 0;
     ++batchId_;
     workReady_.notify_all();
-    batchDone_.wait(lock, [this]() { return completed_ == total_; });
+    while (completed_ != total_)
+        batchDone_.wait(lock);
     fn_ = nullptr;
 }
 
@@ -55,11 +56,10 @@ ThreadPool::workerLoop()
 {
     std::uint64_t seen_batch = 0;
     for (;;) {
-        std::unique_lock<std::mutex> lock(mu_);
-        workReady_.wait(lock, [&]() {
-            return shutdown_ ||
-                   (batchId_ != seen_batch && nextIndex_ < total_);
-        });
+        MutexLock lock(mu_);
+        while (!(shutdown_ ||
+                 (batchId_ != seen_batch && nextIndex_ < total_)))
+            workReady_.wait(lock);
         if (shutdown_)
             return;
         if (nextIndex_ >= total_) {
@@ -71,8 +71,12 @@ ThreadPool::workerLoop()
         // locking is noise.
         while (nextIndex_ < total_) {
             const std::size_t i = nextIndex_++;
+            // Snapshot fn_ while still holding mu_: parallelFor
+            // resets it once `completed_ == total_`, so reading it
+            // after the unlock would race the batch owner.
+            const auto *fn = fn_;
             lock.unlock();
-            (*fn_)(i);
+            (*fn)(i);
             lock.lock();
             ++completed_;
         }

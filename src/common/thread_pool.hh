@@ -9,6 +9,9 @@
  * rests on this shape — each index is an independent unit of work
  * (one node), so the result is identical no matter how many workers
  * execute the batch or how indices interleave.
+ *
+ * All batch-cursor state is guarded by mu_ and checked by Clang's
+ * thread-safety analysis (CMPQOS_THREAD_SAFETY=ON).
  */
 
 #ifndef CMPQOS_COMMON_THREAD_POOL_HH
@@ -17,9 +20,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.hh"
 
 namespace cmpqos
 {
@@ -49,26 +53,30 @@ class ThreadPool
      * simulator reports errors via panic/fatal, which abort).
      */
     void parallelFor(std::size_t n,
-                     const std::function<void(std::size_t)> &fn);
+                     const std::function<void(std::size_t)> &fn)
+        CMPQOS_EXCLUDES(mu_);
 
     /** std::thread::hardware_concurrency(), but never 0. */
     static unsigned hardwareConcurrency();
 
   private:
-    void workerLoop();
+    void workerLoop() CMPQOS_EXCLUDES(mu_);
 
     std::vector<std::thread> workers_;
 
-    std::mutex mu_;
-    std::condition_variable workReady_;
-    std::condition_variable batchDone_;
+    Mutex mu_;
+    /** condition_variable_any: its lock argument is the annotated
+     *  MutexLock, so waits stay visible to the analysis. */
+    std::condition_variable_any workReady_;
+    std::condition_variable_any batchDone_;
     /** Incremented per parallelFor call; wakes workers. */
-    std::uint64_t batchId_ = 0;
-    const std::function<void(std::size_t)> *fn_ = nullptr;
-    std::size_t nextIndex_ = 0;
-    std::size_t total_ = 0;
-    std::size_t completed_ = 0;
-    bool shutdown_ = false;
+    std::uint64_t batchId_ CMPQOS_GUARDED_BY(mu_) = 0;
+    const std::function<void(std::size_t)> *fn_ CMPQOS_GUARDED_BY(mu_) =
+        nullptr;
+    std::size_t nextIndex_ CMPQOS_GUARDED_BY(mu_) = 0;
+    std::size_t total_ CMPQOS_GUARDED_BY(mu_) = 0;
+    std::size_t completed_ CMPQOS_GUARDED_BY(mu_) = 0;
+    bool shutdown_ CMPQOS_GUARDED_BY(mu_) = false;
 };
 
 } // namespace cmpqos

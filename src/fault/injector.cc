@@ -37,6 +37,7 @@ FaultInjector::FaultInjector(const FaultPlan &plan, Cycle quantum_cycles)
 std::vector<FaultAction>
 FaultInjector::actionsDue(Cycle t)
 {
+    driver_.grant(); // barrier protocol: driver thread only
     std::vector<FaultAction> due;
     while (cursor_ < actions_.size() && actions_[cursor_].when <= t)
         due.push_back(actions_[cursor_++]);
@@ -46,6 +47,7 @@ FaultInjector::actionsDue(Cycle t)
 Cycle
 FaultInjector::nextEventTime(Cycle after) const
 {
+    driver_.grant(); // barrier protocol: driver thread only
     Cycle next = maxCycle;
     if (cursor_ < actions_.size() && actions_[cursor_].when > after)
         next = actions_[cursor_].when;

@@ -24,6 +24,7 @@
 
 #include <vector>
 
+#include "common/annotations.hh"
 #include "common/types.hh"
 #include "fault/plan.hh"
 
@@ -54,7 +55,12 @@ class FaultInjector
     }
 
     /** Crash/restart actions not yet fired. */
-    bool actionsPending() const { return cursor_ < actions_.size(); }
+    bool
+    actionsPending() const
+    {
+        driver_.grant();
+        return cursor_ < actions_.size();
+    }
 
     /**
      * Consume and return every pending action with `when <= t`, in
@@ -101,7 +107,11 @@ class FaultInjector
     bool inWindow(FaultType type, NodeId node, Cycle t) const;
 
     std::vector<FaultAction> actions_; // sorted by (when, plan order)
-    std::size_t cursor_ = 0;
+    /** Single-owner protocol: only the driver thread queries the
+     *  injector, at quantum barriers (see file header). The phantom
+     *  role documents that and guards the consuming cursor. */
+    OwnerRole driver_;
+    std::size_t cursor_ CMPQOS_GUARDED_BY(driver_) = 0;
     std::vector<Window> windows_;
 };
 

@@ -68,6 +68,7 @@ void
 InvariantChecker::checkWays(NodeId node, Cycle now,
                             const WaySnapshot &snap)
 {
+    driver_.grant(); // barrier protocol: driver thread only
     unsigned reserved = 0;
     for (std::size_t c = 0; c < snap.reservedTargets.size(); ++c) {
         const unsigned target = snap.reservedTargets[c];
@@ -220,6 +221,7 @@ void
 InvariantChecker::checkNode(NodeId node, const QosFramework &fw,
                             Cycle now)
 {
+    driver_.grant(); // barrier protocol: driver thread only
     ++checks_;
     checkWays(node, now, captureWays(fw));
     checkPartitions(node, fw, now);
@@ -231,6 +233,7 @@ InvariantChecker::checkNode(NodeId node, const QosFramework &fw,
 std::string
 InvariantChecker::report(std::size_t max) const
 {
+    driver_.grant();
     std::string out;
     for (std::size_t i = 0; i < violations_.size() && i < max; ++i) {
         out += violations_[i].format();

@@ -39,6 +39,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/annotations.hh"
 #include "common/types.hh"
 #include "qos/framework.hh"
 
@@ -90,11 +91,15 @@ class InvariantChecker
     /** Capture the allocation state checkWays() consumes. */
     static WaySnapshot captureWays(const QosFramework &fw);
 
-    bool ok() const { return total_ == 0; }
-    std::uint64_t totalViolations() const { return total_; }
-    std::uint64_t checksRun() const { return checks_; }
-    const std::vector<InvariantViolation> &violations() const
+    // clang-format off
+    bool ok() const { driver_.grant(); return total_ == 0; }
+    std::uint64_t totalViolations() const { driver_.grant(); return total_; }
+    std::uint64_t checksRun() const { driver_.grant(); return checks_; }
+    // clang-format on
+    const std::vector<InvariantViolation> &
+    violations() const
     {
+        driver_.grant();
         return violations_;
     }
 
@@ -103,22 +108,28 @@ class InvariantChecker
 
   private:
     void record(const char *invariant, NodeId node, Cycle now,
-                const std::string &subject, std::string detail);
+                const std::string &subject, std::string detail)
+        CMPQOS_REQUIRES(driver_);
 
     void checkPartitions(NodeId node, const QosFramework &fw,
-                         Cycle now);
+                         Cycle now) CMPQOS_REQUIRES(driver_);
     void checkStealReturns(NodeId node, const QosFramework &fw,
-                           Cycle now);
+                           Cycle now) CMPQOS_REQUIRES(driver_);
     void checkReservations(NodeId node, const QosFramework &fw,
-                           Cycle now);
+                           Cycle now) CMPQOS_REQUIRES(driver_);
     void checkDeadlines(NodeId node, const QosFramework &fw,
-                        Cycle now);
+                        Cycle now) CMPQOS_REQUIRES(driver_);
+
+    /** Single-owner protocol: the oracle runs on the driver thread at
+     *  quantum barriers, over quiescent nodes. Public entry points
+     *  assert the role; the check/record helpers require it. */
+    OwnerRole driver_;
 
     std::size_t maxRecorded_;
-    std::vector<InvariantViolation> violations_;
-    std::unordered_set<std::string> reported_;
-    std::uint64_t total_ = 0;
-    std::uint64_t checks_ = 0;
+    std::vector<InvariantViolation> violations_ CMPQOS_GUARDED_BY(driver_);
+    std::unordered_set<std::string> reported_ CMPQOS_GUARDED_BY(driver_);
+    std::uint64_t total_ CMPQOS_GUARDED_BY(driver_) = 0;
+    std::uint64_t checks_ CMPQOS_GUARDED_BY(driver_) = 0;
 };
 
 } // namespace cmpqos

@@ -26,6 +26,7 @@ GlobalAdmissionController::GlobalAdmissionController(GacPolicy policy)
 void
 GlobalAdmissionController::addNode(NodeId id, LocalAdmissionController *lac)
 {
+    admission_.grant();
     cmpqos_assert(lac != nullptr, "null LAC");
     nodes_.push_back(NodeEntry{id, lac, true});
 }
@@ -33,6 +34,7 @@ GlobalAdmissionController::addNode(NodeId id, LocalAdmissionController *lac)
 void
 GlobalAdmissionController::setNodeAlive(NodeId id, bool alive)
 {
+    admission_.grant();
     for (auto &node : nodes_) {
         if (node.id == id) {
             node.alive = alive;
@@ -45,6 +47,7 @@ GlobalAdmissionController::setNodeAlive(NodeId id, bool alive)
 bool
 GlobalAdmissionController::nodeAlive(NodeId id) const
 {
+    admission_.grant();
     for (const auto &node : nodes_)
         if (node.id == id)
             return node.alive;
@@ -105,6 +108,7 @@ liveReservations(const LocalAdmissionController &lac, Cycle t)
 GacDecision
 GlobalAdmissionController::submit(Job &job, Cycle now)
 {
+    admission_.grant();
     GacDecision best;
     std::size_t best_load = 0;
     unsigned best_ways = 0;
@@ -178,6 +182,7 @@ GlobalAdmissionController::negotiateDeadline(const Job &job, Cycle now,
                                              double max_factor,
                                              double step_fraction) const
 {
+    admission_.grant();
     const Cycle base = job.target().relativeDeadline;
     for (double f = 1.0 + step_fraction; f <= max_factor + 1e-9;
          f += step_fraction) {

@@ -18,6 +18,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/annotations.hh"
 #include "common/types.hh"
 #include "qos/admission.hh"
 #include "qos/job.hh"
@@ -103,7 +104,12 @@ class GlobalAdmissionController
     /** Register a node's LAC (not owned). */
     void addNode(NodeId id, LocalAdmissionController *lac);
 
-    std::size_t nodeCount() const { return nodes_.size(); }
+    std::size_t
+    nodeCount() const
+    {
+        admission_.grant();
+        return nodes_.size();
+    }
 
     /**
      * Mark a node dead (crash) or alive again (restart). Dead nodes
@@ -119,12 +125,14 @@ class GlobalAdmissionController
     /** Install (or clear, with nullptr) the probe-fault hook. */
     void setProbeFaults(ProbeFaultFn fn) { probeFaults_ = std::move(fn); }
 
+    // clang-format off
     /** Probe retries that eventually succeeded. */
-    std::uint64_t probeRetries() const { return probeRetries_; }
+    std::uint64_t probeRetries() const { admission_.grant(); return probeRetries_; }
     /** Probes abandoned after exhausting the retry budget. */
-    std::uint64_t probeTimeouts() const { return probeTimeouts_; }
+    std::uint64_t probeTimeouts() const { admission_.grant(); return probeTimeouts_; }
     /** Virtual cycles spent in retry backoff. */
-    Cycle backoffCycles() const { return backoffCycles_; }
+    Cycle backoffCycles() const { admission_.grant(); return backoffCycles_; }
+    // clang-format on
 
     /**
      * Probe all nodes and, per policy, submit @p job to the chosen
@@ -143,7 +151,12 @@ class GlobalAdmissionController
                                            double step_fraction = 0.25)
         const;
 
-    std::uint64_t probes() const { return probes_; }
+    std::uint64_t
+    probes() const
+    {
+        admission_.grant();
+        return probes_;
+    }
 
     /**
      * Telemetry: ArrivalPlaced / JobRejected from submit() and
@@ -163,24 +176,34 @@ class GlobalAdmissionController
     /** Probe one node with a possibly modified deadline. */
     AdmissionDecision probeNode(const NodeEntry &node, const Job &job,
                                 Cycle now,
-                                Cycle relative_deadline_override) const;
+                                Cycle relative_deadline_override) const
+        CMPQOS_REQUIRES(admission_);
 
     /**
      * Probe-path gate: dead nodes and nodes whose probes exhaust the
      * retry budget are unreachable (false); recoverable timeouts
      * charge retries and backoff, then pass.
      */
-    bool nodeReachable(const NodeEntry &node) const;
+    bool nodeReachable(const NodeEntry &node) const
+        CMPQOS_REQUIRES(admission_);
+
+    /**
+     * The admission role: the GAC belongs to the single global
+     * admission thread (the paper's Section 3.1 front door). Probe
+     * tallies are `mutable`, so without the role they would be
+     * silently writable from any const context on any thread.
+     */
+    OwnerRole admission_;
 
     GacPolicy policy_;
-    std::vector<NodeEntry> nodes_;
+    std::vector<NodeEntry> nodes_ CMPQOS_GUARDED_BY(admission_);
     TraceRecorder *trace_ = nullptr;
     GacRetryConfig retry_;
     ProbeFaultFn probeFaults_;
-    mutable std::uint64_t probes_ = 0;
-    mutable std::uint64_t probeRetries_ = 0;
-    mutable std::uint64_t probeTimeouts_ = 0;
-    mutable Cycle backoffCycles_ = 0;
+    mutable std::uint64_t probes_ CMPQOS_GUARDED_BY(admission_) = 0;
+    mutable std::uint64_t probeRetries_ CMPQOS_GUARDED_BY(admission_) = 0;
+    mutable std::uint64_t probeTimeouts_ CMPQOS_GUARDED_BY(admission_) = 0;
+    mutable Cycle backoffCycles_ CMPQOS_GUARDED_BY(admission_) = 0;
 };
 
 } // namespace cmpqos

@@ -39,6 +39,7 @@ CmpServer::attachTelemetry(TraceCollector &collector)
 void
 CmpServer::setNodeAlive(NodeId n, bool alive)
 {
+    admission_.grant();
     cmpqos_assert(n >= 0 && n < numNodes(), "node %d out of range", n);
     alive_[static_cast<std::size_t>(n)] = alive ? 1 : 0;
 }
@@ -65,6 +66,7 @@ CmpServer::nodeReachable(NodeId n)
 ServerDecision
 CmpServer::submit(const JobRequest &request, InstCount instructions)
 {
+    admission_.grant();
     ServerDecision best;
     std::size_t best_load = 0;
     unsigned best_ways = 0;
@@ -146,6 +148,7 @@ CmpServer::submitNegotiated(const JobRequest &request,
                             InstCount instructions, double max_factor,
                             double step_fraction)
 {
+    admission_.grant();
     ServerDecision d = submit(request, instructions);
     if (d.accepted)
         return d;
@@ -203,6 +206,7 @@ CmpServer::runToCompletion()
 std::size_t
 CmpServer::placedOn(NodeId n) const
 {
+    admission_.grant();
     cmpqos_assert(n >= 0 && n < numNodes(), "node out of range");
     return placed_[static_cast<std::size_t>(n)];
 }

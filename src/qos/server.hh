@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/annotations.hh"
 #include "qos/framework.hh"
 #include "qos/gac.hh"
 #include "telemetry/collector.hh"
@@ -73,11 +74,13 @@ class CmpServer
     /** Run every node's simulation until all its jobs complete. */
     void runToCompletion();
 
-    std::uint64_t probes() const { return probes_; }
-    std::uint64_t acceptedCount() const { return accepted_; }
-    std::uint64_t rejectedCount() const { return rejected_; }
+    // clang-format off
+    std::uint64_t probes() const { admission_.grant(); return probes_; }
+    std::uint64_t acceptedCount() const { admission_.grant(); return accepted_; }
+    std::uint64_t rejectedCount() const { admission_.grant(); return rejected_; }
     /** Jobs accepted only after deadline renegotiation. */
-    std::uint64_t negotiatedCount() const { return negotiated_; }
+    std::uint64_t negotiatedCount() const { admission_.grant(); return negotiated_; }
+    // clang-format on
 
     /**
      * Bounded probe retry with exponential backoff: a timed-out probe
@@ -93,12 +96,14 @@ class CmpServer
     /** Mark a node dead/alive; dead nodes are never probed. */
     void setNodeAlive(NodeId n, bool alive);
 
+    // clang-format off
     /** Probe retries that eventually succeeded. */
-    std::uint64_t probeRetries() const { return probeRetries_; }
+    std::uint64_t probeRetries() const { admission_.grant(); return probeRetries_; }
     /** Probes abandoned after exhausting the retry budget. */
-    std::uint64_t probeTimeouts() const { return probeTimeouts_; }
+    std::uint64_t probeTimeouts() const { admission_.grant(); return probeTimeouts_; }
     /** Virtual cycles charged to retry backoff. */
-    Cycle backoffCycles() const { return backoffCycles_; }
+    Cycle backoffCycles() const { admission_.grant(); return backoffCycles_; }
+    // clang-format on
 
     /** Jobs placed on node @p n so far. */
     std::size_t placedOn(NodeId n) const;
@@ -117,22 +122,30 @@ class CmpServer
 
   private:
     /** Dead-node / probe-timeout gate (charges retries + backoff). */
-    bool nodeReachable(NodeId n);
+    bool nodeReachable(NodeId n) CMPQOS_REQUIRES(admission_);
+
+    /**
+     * The admission role: the server drains nodes sequentially on the
+     * one thread that submits, so probe accounting and per-node
+     * liveness are single-owner state, not lock-protected state.
+     * Public entry points assert the role; the probe gate requires it.
+     */
+    OwnerRole admission_;
 
     std::vector<std::unique_ptr<QosFramework>> nodes_;
-    std::vector<std::size_t> placed_;
-    std::vector<char> alive_;
+    std::vector<std::size_t> placed_ CMPQOS_GUARDED_BY(admission_);
+    std::vector<char> alive_ CMPQOS_GUARDED_BY(admission_);
     TraceRecorder *trace_ = nullptr;
     GacPolicy policy_;
     GacRetryConfig retry_;
     ProbeFaultFn probeFaults_;
-    std::uint64_t probes_ = 0;
-    std::uint64_t accepted_ = 0;
-    std::uint64_t rejected_ = 0;
-    std::uint64_t negotiated_ = 0;
-    std::uint64_t probeRetries_ = 0;
-    std::uint64_t probeTimeouts_ = 0;
-    Cycle backoffCycles_ = 0;
+    std::uint64_t probes_ CMPQOS_GUARDED_BY(admission_) = 0;
+    std::uint64_t accepted_ CMPQOS_GUARDED_BY(admission_) = 0;
+    std::uint64_t rejected_ CMPQOS_GUARDED_BY(admission_) = 0;
+    std::uint64_t negotiated_ CMPQOS_GUARDED_BY(admission_) = 0;
+    std::uint64_t probeRetries_ CMPQOS_GUARDED_BY(admission_) = 0;
+    std::uint64_t probeTimeouts_ CMPQOS_GUARDED_BY(admission_) = 0;
+    Cycle backoffCycles_ CMPQOS_GUARDED_BY(admission_) = 0;
 };
 
 } // namespace cmpqos

@@ -27,6 +27,7 @@ TraceCollector::nodeRecorder(NodeId n)
 void
 TraceCollector::addSink(TraceSink *sink)
 {
+    consumer_.grant();
     cmpqos_assert(sink != nullptr, "null sink");
     sinks_.push_back(sink);
 }
@@ -34,6 +35,9 @@ TraceCollector::addSink(TraceSink *sink)
 std::size_t
 TraceCollector::drain()
 {
+    // Quantum barrier: the driver thread is the sole consumer, and
+    // every producer ring has a happens-before edge to this point.
+    consumer_.grant();
     std::size_t delivered = 0;
     TraceEvent e;
     for (auto &rec : recorders_) {
@@ -51,6 +55,7 @@ void
 TraceCollector::finish(std::uint64_t seed, unsigned threads,
                        double wall_seconds)
 {
+    consumer_.grant();
     cmpqos_assert(!finished_, "collector finished twice");
     finished_ = true;
     drain();

@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/annotations.hh"
 #include "telemetry/recorder.hh"
 #include "telemetry/sink.hh"
 
@@ -92,14 +93,27 @@ class TraceCollector
     std::uint64_t totalDrops() const;
 
     /** Events delivered to sinks so far. */
-    std::uint64_t eventsDelivered() const { return delivered_; }
+    std::uint64_t
+    eventsDelivered() const
+    {
+        consumer_.grant();
+        return delivered_;
+    }
 
   private:
+    /**
+     * The consumer role: sinks and delivery accounting belong to the
+     * one thread that drains at quantum barriers (the driver). The
+     * producer side never touches these — it only sees its own
+     * recorder's SPSC ring.
+     */
+    OwnerRole consumer_;
+
     std::atomic<bool> enabled_{true};
     std::vector<std::unique_ptr<TraceRecorder>> recorders_;
-    std::vector<TraceSink *> sinks_;
-    std::uint64_t delivered_ = 0;
-    bool finished_ = false;
+    std::vector<TraceSink *> sinks_ CMPQOS_GUARDED_BY(consumer_);
+    std::uint64_t delivered_ CMPQOS_GUARDED_BY(consumer_) = 0;
+    bool finished_ CMPQOS_GUARDED_BY(consumer_) = false;
 };
 
 } // namespace cmpqos

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string_view>
+#include <type_traits>
 
 #include "common/types.hh"
 
@@ -138,7 +139,19 @@ struct TraceEvent
     }
 };
 
+// The SPSC ring assumes events are raw-copyable PODs: tryPush is a
+// struct copy with no construction or ownership semantics, and the
+// exporters read fields straight off the drained copy. Pin the whole
+// contract here so a future member (a std::string, a virtual, a
+// surprise padding change) fails at compile time, not in a ring.
 static_assert(sizeof(TraceEvent) == 88, "keep TraceEvent compact");
+static_assert(std::is_trivially_copyable_v<TraceEvent>,
+              "TraceEvent must stay memcpy-safe for the SPSC ring");
+static_assert(std::is_standard_layout_v<TraceEvent>,
+              "TraceEvent must stay standard-layout (stable field "
+              "offsets for exporters)");
+static_assert(std::is_trivially_destructible_v<TraceEvent>,
+              "ring slots are overwritten, never destroyed");
 
 /** Convenience constructor for the common (type, time, job) triple. */
 inline TraceEvent

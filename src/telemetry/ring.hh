@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/annotations.hh"
 #include "common/logging.hh"
 #include "telemetry/event.hh"
 
@@ -56,6 +57,9 @@ class SpscEventRing
     bool
     tryPush(const TraceEvent &e)
     {
+        // SPSC contract: exactly one producer thread at a time (the
+        // node's current owner under the barrier handoff).
+        producer_.grant();
         const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
         const std::uint64_t head = head_.load(std::memory_order_acquire);
         if (tail - head >= buf_.size())
@@ -72,6 +76,9 @@ class SpscEventRing
     bool
     tryPop(TraceEvent &out)
     {
+        // SPSC contract: exactly one consumer thread (the collector's
+        // barrier-time drain on the driver thread).
+        consumer_.grant();
         const std::uint64_t head = head_.load(std::memory_order_relaxed);
         const std::uint64_t tail = tail_.load(std::memory_order_acquire);
         if (head == tail)
@@ -91,6 +98,16 @@ class SpscEventRing
     }
 
   private:
+    /**
+     * Endpoint roles. The slot array itself is handed between the
+     * endpoints by the acquire/release cursor protocol (which the
+     * static analysis cannot model), so the roles enforce only the
+     * calling discipline: tryPush is producer-side, tryPop is
+     * consumer-side, and each side is single-threaded.
+     */
+    OwnerRole producer_;
+    OwnerRole consumer_;
+
     std::vector<TraceEvent> buf_;
     std::size_t mask_ = 0;
     /** Consumer cursor (padded away from the producer's). */

@@ -9,14 +9,6 @@ namespace cmpqos
 namespace
 {
 
-/** Blocks per L2 way in the default geometry (128KB / 64B = 2048). */
-std::uint64_t
-blocksPerWay()
-{
-    const CacheConfig l2 = CacheConfig::l2Default();
-    return l2.numSets();
-}
-
 using PC = ProfileComponent;
 
 /**

@@ -1,0 +1,12 @@
+// detlint fixture: malformed directives are themselves violations so
+// the allowlist stays auditable.
+#include <chrono>
+
+// An allow without a reason is rejected AND does not suppress.
+// detlint:expect(detlint-directive)
+// detlint:expect(wall-clock)
+const auto t = std::chrono::steady_clock::now(); // detlint:allow(wall-clock)
+
+// detlint:expect(detlint-directive)
+// next line names a rule that does not exist
+int x = 0; // detlint:allow(no-such-rule): typo'd rule id

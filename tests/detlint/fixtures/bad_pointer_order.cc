@@ -1,0 +1,16 @@
+// detlint fixture: pointer-keyed ordered containers iterate in
+// allocation-address order, which varies run to run.
+#include <map>
+#include <set>
+
+struct Node
+{
+    int id;
+};
+
+std::set<Node *> liveNodes;      // detlint:expect(pointer-order)
+
+std::map<const Node *, int> nodeRank; // detlint:expect(pointer-order)
+
+// Keying by a stable id is the fix; this must not fire.
+std::map<int, Node *> nodesById;

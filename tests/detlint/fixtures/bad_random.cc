@@ -1,0 +1,37 @@
+// detlint fixture: host-entropy and process-global RNG constructs.
+// Every tagged line must fire exactly the named rule.
+#include <cstdlib>
+#include <random>
+
+unsigned
+hostEntropySeed()
+{
+    std::random_device rd;       // detlint:expect(random-device)
+    return rd();
+}
+
+int
+legacyRandom()
+{
+    srand(42);                   // detlint:expect(rand)
+    return rand();               // detlint:expect(rand)
+}
+
+int
+qualifiedLegacyRandom()
+{
+    return std::rand();          // detlint:expect(rand)
+}
+
+// Identifiers merely containing "rand" and member calls named rand
+// must not fire: the boundary check skips `.rand(` and `->rand(`.
+struct Operand
+{
+    int rand;
+};
+
+int
+operandIsFine(Operand &op, Operand *pop, int strand)
+{
+    return op.rand + pop->rand + strand;
+}

@@ -1,0 +1,12 @@
+// detlint fixture: scheduling-identity constructs.
+#include <functional>
+#include <thread>
+
+std::size_t
+schedulingIdentityHash()
+{
+    // detlint:expect(thread-id)
+    return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+std::thread::id idSlot;          // detlint:expect(thread-id)

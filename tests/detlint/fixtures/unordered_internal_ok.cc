@@ -1,0 +1,9 @@
+// detlint fixture: the unordered-export rule is scoped to export
+// paths; internal bookkeeping files like this one may use unordered
+// containers freely. Nothing in this file may fire.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+std::unordered_map<std::uint64_t, int> scratchIndex;
+std::unordered_set<std::uint64_t> visited;

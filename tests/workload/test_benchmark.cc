@@ -77,7 +77,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Table1Row{"bzip2", 0.27, 0.0055},
                       Table1Row{"hmmer", 0.17, 0.001},
                       Table1Row{"gobmk", 0.24, 0.004}),
-    [](const auto &info) { return std::string(info.param.name); });
+    [](const auto &pinfo) { return std::string(pinfo.param.name); });
 
 TEST(BenchmarkProfile, MissRateMonotoneInWays)
 {
@@ -124,10 +124,12 @@ TEST(BenchmarkProfile, Group1AnalyticallySensitiveGroup3Flat)
     for (const auto &b : BenchmarkRegistry::all()) {
         const double cpi7 = b.expectedCpi(7);
         const double inc71 = (b.expectedCpi(1) - cpi7) / cpi7;
-        if (b.group == SensitivityGroup::HighlySensitive)
+        if (b.group == SensitivityGroup::HighlySensitive) {
             EXPECT_GE(inc71, 0.38) << b.name;
-        if (b.group == SensitivityGroup::Insensitive)
+        }
+        if (b.group == SensitivityGroup::Insensitive) {
             EXPECT_LE(inc71, 0.22) << b.name;
+        }
     }
 }
 

@@ -83,9 +83,9 @@ INSTANTIATE_TEST_SUITE_P(
                       CalibrationCase{"astar", 7},
                       CalibrationCase{"libquantum", 7},
                       CalibrationCase{"namd", 7}),
-    [](const auto &info) {
-        return std::string(info.param.name) + "_w" +
-               std::to_string(info.param.ways);
+    [](const auto &pinfo) {
+        return std::string(pinfo.param.name) + "_w" +
+               std::to_string(pinfo.param.ways);
     });
 
 TEST(Calibration, Table1MissesPerInstruction)

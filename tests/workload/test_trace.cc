@@ -128,8 +128,8 @@ TEST(Trace, ReplayReproducesCacheBehaviour)
         r.replay(emit);
     });
     // Identical modulo the one possible boundary emission.
-    const auto diff = [](std::uint64_t a, std::uint64_t b) {
-        return a > b ? a - b : b - a;
+    const auto diff = [](std::uint64_t lhs, std::uint64_t rhs) {
+        return lhs > rhs ? lhs - rhs : rhs - lhs;
     };
     EXPECT_LE(diff(live.first, replayed.first), 1u);
     EXPECT_LE(diff(live.second, replayed.second), 1u);

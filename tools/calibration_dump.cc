@@ -40,7 +40,9 @@ int main(int argc, char** argv)
         for (unsigned w : {1u,4u,5u,7u,8u,16u}) {
             double a = b.expectedL2MissRate(w);
             M m = measure(b, w, instr);
-            if (w==7) m7=m; if (w==4) m4=m; if (w==1) m1=m;
+            if (w==7) m7=m;
+            if (w==4) m4=m;
+            if (w==1) m1=m;
             std::printf("w%u[a%.3f m%.3f] ", w, a, m.miss);
         }
         double inc71 = (m1.cpi-m7.cpi)/m7.cpi, inc74 = (m4.cpi-m7.cpi)/m7.cpi;

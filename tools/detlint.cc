@@ -1,0 +1,492 @@
+/**
+ * @file
+ * detlint — the determinism linter.
+ *
+ * The repo's core guarantee is byte-identical cluster runs, traces
+ * and fault reproducers for a given seed at any worker-thread count.
+ * That property is enforced dynamically by the fingerprint tests;
+ * detlint enforces the other half statically: no construct that can
+ * inject host state (wall clocks, process RNGs, thread ids, pointer
+ * values, hash-order iteration) may appear in deterministic paths.
+ *
+ * Usage:
+ *   detlint <path>...            lint files / directory trees
+ *   detlint --check-fixtures <dir>
+ *                                self-test mode: every line tagged
+ *                                `// detlint:expect(<rule>)` must
+ *                                fire exactly that rule, and nothing
+ *                                else may fire
+ *   detlint --list-rules         print the rule table
+ *
+ * Escape hatch: `// detlint:allow(<rule>): <reason>` on the same
+ * line, or on a comment line immediately above the construct,
+ * suppresses the named rule there. The reason is mandatory; an
+ * allow without one (or naming an unknown rule) is itself an error,
+ * so the allowlist stays auditable.
+ *
+ * Matching runs on code only — comments and string literals are
+ * stripped first — so prose about "steady_clock" never trips a rule.
+ * detlint's own output is deterministic: files are scanned in sorted
+ * path order.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+struct Rule
+{
+    const char *id;
+    const char *what;
+    std::regex re;
+    /** Only enforced in export/fingerprint/trace code (see below). */
+    bool exportOnly = false;
+};
+
+// Identifier-boundary prefix that still lets `std::time(` match while
+// excluding member calls (`x.time(`, `p->time(`) and longer
+// identifiers (`virtualTime(`).
+#define CALL_BOUNDARY "(^|[^A-Za-z0-9_.>])"
+
+const std::vector<Rule> &
+rules()
+{
+    static const std::vector<Rule> r = {
+        {"random-device",
+         "std::random_device draws host entropy; seed a cmpqos::Rng "
+         "stream instead",
+         std::regex(R"(\brandom_device\b)")},
+        {"rand",
+         "rand()/srand() use hidden process-global state; use the "
+         "seeded cmpqos::Rng streams",
+         std::regex(CALL_BOUNDARY R"(s?rand\s*\()")},
+        {"time",
+         "time()/clock() read host time; virtual time comes from the "
+         "Simulation clock",
+         std::regex(CALL_BOUNDARY R"((time|clock)\s*\()")},
+        {"wall-clock",
+         "std::chrono clocks read host time; deterministic paths must "
+         "use virtual cycles",
+         std::regex(
+             R"(\b(system_clock|steady_clock|high_resolution_clock)\b)")},
+        {"thread-id",
+         "thread ids vary run to run; deterministic paths must not "
+         "branch on scheduling identity",
+         std::regex(R"(this_thread\s*::\s*get_id|\bthread\s*::\s*id\b)"
+                    R"(|\bpthread_self\b|\bgettid\b)")},
+        {"pointer-order",
+         "ordered containers keyed by pointers iterate in allocation "
+         "order; key by a stable id",
+         std::regex(R"(\bstd\s*::\s*(multi)?(map|set)\s*<[^,>]*\*)")},
+        {"unordered-export",
+         "unordered containers in export/fingerprint/trace code risk "
+         "hash-order iteration; use a sorted structure",
+         std::regex(R"(\bunordered_(multi)?(map|set)\s*<)"),
+         /*exportOnly=*/true},
+    };
+    return r;
+}
+
+#undef CALL_BOUNDARY
+
+bool
+knownRule(const std::string &id)
+{
+    if (id == "detlint-directive") // pseudo-rule for malformed pragmas
+        return true;
+    for (const Rule &r : rules())
+        if (id == r.id)
+            return true;
+    return false;
+}
+
+/**
+ * Files whose output feeds fingerprints, metrics exports or trace
+ * sinks: everything under a telemetry/ directory plus any file whose
+ * name suggests an exporter. The unordered-export rule applies only
+ * here; elsewhere unordered containers are fine as long as nothing
+ * iterates them into externally visible order.
+ */
+bool
+isExportPath(const fs::path &p)
+{
+    for (const auto &part : p)
+        if (part == "telemetry")
+            return true;
+    const std::string name = p.filename().string();
+    for (const char *kw :
+         {"metrics", "report", "sink", "table", "export", "fingerprint"})
+        if (name.find(kw) != std::string::npos)
+            return true;
+    return false;
+}
+
+struct Violation
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string what;
+
+    bool
+    operator<(const Violation &o) const
+    {
+        return std::tie(file, line, rule) <
+               std::tie(o.file, o.line, o.rule);
+    }
+};
+
+struct Directives
+{
+    std::set<std::string> allow;
+    std::set<std::string> expect;
+    std::vector<std::string> errors;
+};
+
+/** Rule ids are [a-z-]+; anything else inside detlint:...(...) is
+ *  documentation quoting the syntax (e.g. "detlint:allow(<rule>)"),
+ *  not a directive, and is ignored rather than flagged. */
+bool
+plausibleRuleId(const std::string &id)
+{
+    if (id.empty())
+        return false;
+    for (char c : id)
+        if (!((c >= 'a' && c <= 'z') || c == '-'))
+            return false;
+    return true;
+}
+
+/** Parse detlint:allow(...)/detlint:expect(...) out of a raw line. */
+Directives
+parseDirectives(const std::string &line)
+{
+    Directives d;
+    static const std::regex dir_re(
+        R"(detlint:(allow|expect)\(([^)]*)\)(\s*:\s*(\S.*))?)");
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), dir_re);
+         it != std::sregex_iterator(); ++it) {
+        const std::string kind = (*it)[1];
+        std::string list = (*it)[2];
+        const bool has_reason = (*it)[4].matched;
+        std::set<std::string> ids;
+        std::size_t pos = 0;
+        while (pos <= list.size()) {
+            std::size_t comma = list.find(',', pos);
+            std::string id = list.substr(
+                pos, comma == std::string::npos ? comma : comma - pos);
+            const auto b = id.find_first_not_of(" \t");
+            const auto e = id.find_last_not_of(" \t");
+            id = b == std::string::npos ? ""
+                                        : id.substr(b, e - b + 1);
+            if (!id.empty())
+                ids.insert(id);
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+        for (const std::string &id : ids) {
+            if (!plausibleRuleId(id))
+                continue; // prose quoting the syntax, not a directive
+            if (!knownRule(id)) {
+                d.errors.push_back("detlint:" + kind +
+                                   " names unknown rule '" + id + "'");
+                continue;
+            }
+            if (kind == "allow") {
+                if (!has_reason) {
+                    d.errors.push_back(
+                        "detlint:allow(" + id +
+                        ") needs a reason: detlint:allow(" + id +
+                        "): <why this is deterministic>");
+                    continue;
+                }
+                d.allow.insert(id);
+            } else {
+                d.expect.insert(id);
+            }
+        }
+    }
+    return d;
+}
+
+/**
+ * Strip comments and string/char literals from one line, carrying
+ * block-comment state across lines. Stripped spans are replaced with
+ * spaces so column positions stay stable.
+ */
+std::string
+stripCode(const std::string &line, bool &in_block_comment)
+{
+    std::string out;
+    out.reserve(line.size());
+    for (std::size_t i = 0; i < line.size();) {
+        if (in_block_comment) {
+            if (line.compare(i, 2, "*/") == 0) {
+                in_block_comment = false;
+                out += "  ";
+                i += 2;
+            } else {
+                out += ' ';
+                ++i;
+            }
+            continue;
+        }
+        if (line.compare(i, 2, "//") == 0)
+            break; // rest of line is comment
+        if (line.compare(i, 2, "/*") == 0) {
+            in_block_comment = true;
+            out += "  ";
+            i += 2;
+            continue;
+        }
+        if (line[i] == '"' || line[i] == '\'') {
+            const char quote = line[i];
+            out += ' ';
+            ++i;
+            while (i < line.size()) {
+                if (line[i] == '\\' && i + 1 < line.size()) {
+                    out += "  ";
+                    i += 2;
+                    continue;
+                }
+                const bool closing = line[i] == quote;
+                out += ' ';
+                ++i;
+                if (closing)
+                    break;
+            }
+            continue;
+        }
+        out += line[i];
+        ++i;
+    }
+    return out;
+}
+
+struct FileScan
+{
+    std::vector<Violation> violations;
+    /** line -> expected rules (fixture mode). */
+    std::map<int, std::set<std::string>> expected;
+};
+
+FileScan
+scanFile(const fs::path &path)
+{
+    FileScan result;
+    std::ifstream in(path);
+    if (!in) {
+        result.violations.push_back(
+            {path.string(), 0, "io", "cannot open file"});
+        return result;
+    }
+    const bool export_path = isExportPath(path);
+    bool in_block_comment = false;
+    // Directives on pure-comment lines apply to the next code line
+    // (and survive a multi-line comment, so a wrapped justification
+    // works).
+    std::set<std::string> pending_allow;
+    std::set<std::string> pending_expect;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const Directives dir = parseDirectives(line);
+        for (const std::string &err : dir.errors)
+            result.violations.push_back(
+                {path.string(), lineno, "detlint-directive", err});
+
+        const std::string code = stripCode(line, in_block_comment);
+        const bool code_blank =
+            code.find_first_not_of(" \t") == std::string::npos;
+        if (code_blank) {
+            // Comment/blank line: its directives arm for the next
+            // code line; already-armed ones stay armed.
+            pending_allow.insert(dir.allow.begin(), dir.allow.end());
+            pending_expect.insert(dir.expect.begin(),
+                                  dir.expect.end());
+            continue;
+        }
+
+        std::set<std::string> allowed = dir.allow;
+        allowed.insert(pending_allow.begin(), pending_allow.end());
+        pending_allow.clear();
+        std::set<std::string> expected = dir.expect;
+        expected.insert(pending_expect.begin(), pending_expect.end());
+        pending_expect.clear();
+        if (!expected.empty())
+            result.expected[lineno] = expected;
+
+        for (const Rule &r : rules()) {
+            if (r.exportOnly && !export_path)
+                continue;
+            if (!std::regex_search(code, r.re))
+                continue;
+            if (allowed.count(r.id))
+                continue;
+            result.violations.push_back(
+                {path.string(), lineno, r.id, r.what});
+        }
+    }
+    return result;
+}
+
+bool
+lintableFile(const fs::path &p)
+{
+    static const std::set<std::string> exts = {
+        ".cc", ".hh", ".h", ".cpp", ".hpp", ".cxx", ".hxx"};
+    return exts.count(p.extension().string()) != 0;
+}
+
+std::vector<fs::path>
+collectFiles(const std::vector<std::string> &args, bool &ok)
+{
+    std::vector<fs::path> files;
+    for (const std::string &a : args) {
+        fs::path p(a);
+        std::error_code ec;
+        if (fs::is_directory(p, ec)) {
+            for (const auto &entry :
+                 fs::recursive_directory_iterator(p)) {
+                if (entry.is_regular_file() &&
+                    lintableFile(entry.path()))
+                    files.push_back(entry.path());
+            }
+        } else if (fs::is_regular_file(p, ec)) {
+            files.push_back(p);
+        } else {
+            std::fprintf(stderr, "detlint: no such path: %s\n",
+                         a.c_str());
+            ok = false;
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    return files;
+}
+
+int
+lint(const std::vector<std::string> &paths)
+{
+    bool ok = true;
+    const std::vector<fs::path> files = collectFiles(paths, ok);
+    if (!ok)
+        return 2;
+    std::vector<Violation> all;
+    for (const fs::path &f : files) {
+        FileScan scan = scanFile(f);
+        all.insert(all.end(), scan.violations.begin(),
+                   scan.violations.end());
+    }
+    std::sort(all.begin(), all.end());
+    for (const Violation &v : all)
+        std::printf("%s:%d: [%s] %s\n", v.file.c_str(), v.line,
+                    v.rule.c_str(), v.what.c_str());
+    std::printf("detlint: %zu file(s), %zu violation(s)\n",
+                files.size(), all.size());
+    return all.empty() ? 0 : 1;
+}
+
+/**
+ * Fixture self-test: every detlint:expect(<rule>) line must fire
+ * exactly those rules, and no unexpected violation may fire anywhere
+ * in the corpus. Proves each rule detects its known-bad snippet and
+ * that the allow pragma suppresses (fixtures with expect-free allowed
+ * lines pass only if the allow works).
+ */
+int
+checkFixtures(const std::string &dir)
+{
+    bool ok = true;
+    const std::vector<fs::path> files = collectFiles({dir}, ok);
+    if (!ok)
+        return 2;
+    if (files.empty()) {
+        std::fprintf(stderr, "detlint: no fixtures under %s\n",
+                     dir.c_str());
+        return 2;
+    }
+    int failures = 0;
+    std::size_t checked = 0;
+    for (const fs::path &f : files) {
+        FileScan scan = scanFile(f);
+        std::map<int, std::set<std::string>> fired;
+        for (const Violation &v : scan.violations)
+            fired[v.line].insert(v.rule);
+        for (const auto &[line, expected] : scan.expected) {
+            checked += expected.size();
+            for (const std::string &rule : expected) {
+                if (!fired[line].count(rule)) {
+                    std::printf(
+                        "FAIL %s:%d: expected [%s] did not fire\n",
+                        f.string().c_str(), line, rule.c_str());
+                    ++failures;
+                }
+            }
+        }
+        for (const auto &[line, got] : fired) {
+            auto it = scan.expected.find(line);
+            for (const std::string &rule : got) {
+                if (it == scan.expected.end() || !it->second.count(rule)) {
+                    std::printf(
+                        "FAIL %s:%d: unexpected [%s] fired\n",
+                        f.string().c_str(), line, rule.c_str());
+                    ++failures;
+                }
+            }
+        }
+    }
+    std::printf(
+        "detlint fixtures: %zu file(s), %zu expectation(s), %d "
+        "failure(s)\n",
+        files.size(), checked, failures);
+    if (checked == 0) {
+        std::fprintf(stderr,
+                     "detlint: fixture corpus has no expectations\n");
+        return 2;
+    }
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) {
+        std::fprintf(
+            stderr,
+            "usage: detlint <path>... | --check-fixtures <dir> | "
+            "--list-rules\n");
+        return 2;
+    }
+    if (args[0] == "--list-rules") {
+        for (const Rule &r : rules())
+            std::printf("%-17s %s%s\n", r.id, r.what,
+                        r.exportOnly ? " (export paths only)" : "");
+        return 0;
+    }
+    if (args[0] == "--check-fixtures") {
+        if (args.size() != 2) {
+            std::fprintf(stderr,
+                         "usage: detlint --check-fixtures <dir>\n");
+            return 2;
+        }
+        return checkFixtures(args[1]);
+    }
+    return lint(args);
+}
