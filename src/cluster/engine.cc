@@ -194,9 +194,25 @@ ClusterEngine::place(const ClusterArrival &arrival)
             e.setName("no node accepted");
             driverTrace_->emit(e);
         }
+        if (config_.observer != nullptr) {
+            PlacementOutcome o;
+            o.seq = static_cast<std::uint64_t>(seq);
+            o.deadlineFactor = arrival.request.deadlineFactor;
+            config_.observer->onPlacement(arrival, o);
+        }
         return p;
     }
 
+    Cycle observed_slot = 0;
+    if (config_.observer != nullptr) {
+        // Probe the chosen node once more for the reserved slot the
+        // reply will advertise. probe() is side-effect-free, so runs
+        // with and without an observer stay bit-identical.
+        const AdmissionDecision d =
+            nodes_[static_cast<std::size_t>(target)]->probe(
+                request, arrival.instructions);
+        observed_slot = d.slotStart;
+    }
     Job *job = nodes_[static_cast<std::size_t>(target)]->submit(
         request, arrival.instructions);
     if (job == nullptr) {
@@ -249,6 +265,16 @@ ClusterEngine::place(const ClusterArrival &arrival)
         e.a = static_cast<std::uint64_t>(target);
         e.b = static_cast<std::uint64_t>(job->id());
         driverTrace_->emit(e);
+    }
+    if (config_.observer != nullptr) {
+        PlacementOutcome o;
+        o.seq = static_cast<std::uint64_t>(seq);
+        o.accepted = true;
+        o.negotiated = p.negotiated;
+        o.node = target;
+        o.slotStart = observed_slot;
+        o.deadlineFactor = request.deadlineFactor;
+        config_.observer->onPlacement(arrival, o);
     }
     return p;
 }
@@ -470,6 +496,8 @@ ClusterEngine::run(ArrivalProcess &arrivals, Cycle horizon, bool drain)
         if (checker_ != nullptr)
             checkAll();
         t = next_q;
+        if (config_.observer != nullptr)
+            config_.observer->onQuantum(t);
     }
 
     if (drain) {
@@ -487,6 +515,8 @@ ClusterEngine::run(ArrivalProcess &arrivals, Cycle horizon, bool drain)
         config_.telemetry->drain();
     if (checker_ != nullptr)
         checkAll();
+    if (config_.observer != nullptr)
+        config_.observer->onQuantum(drain ? t : horizon);
 
     // detlint:allow(wall-clock): measurement-only host wall time for
     // the metrics snapshot; never feeds virtual time or placement.

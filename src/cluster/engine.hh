@@ -38,6 +38,52 @@
 namespace cmpqos
 {
 
+/** What admission decided about one arrival (observer callback). */
+struct PlacementOutcome
+{
+    /** Global submission sequence number (order offered to the GAC). */
+    std::uint64_t seq = 0;
+    bool accepted = false;
+    bool negotiated = false;
+    /** Accepting node, -1 when rejected. */
+    NodeId node = -1;
+    /** Reserved timeslot start from the accepting node's probe
+     *  (only populated when an observer is installed; the extra probe
+     *  is side-effect-free so observed and unobserved runs stay
+     *  bit-identical). */
+    Cycle slotStart = 0;
+    /** Deadline factor actually granted (== requested unless
+     *  negotiation relaxed it). */
+    double deadlineFactor = 0.0;
+};
+
+/**
+ * Passive observation points on the driver thread. Callbacks run
+ * synchronously inside the run loop — between an arrival's placement
+ * and the next, or at a quantum barrier while every node is quiescent
+ * — and must not touch the engine (the driver role is held by the run
+ * loop for the duration). The engine's control flow and state are
+ * identical with or without an observer installed; qosd relies on
+ * that to make live runs replayable from the journal alone.
+ */
+class EngineObserver
+{
+  public:
+    virtual ~EngineObserver() = default;
+
+    /** One arrival went through admission (accepted or not). */
+    virtual void onPlacement(const ClusterArrival &arrival,
+                             const PlacementOutcome &outcome)
+    {
+        (void)arrival;
+        (void)outcome;
+    }
+
+    /** A quantum barrier completed; telemetry has been drained and
+     *  cluster virtual time is @p now. */
+    virtual void onQuantum(Cycle now) { (void)now; }
+};
+
 /** Cluster engine configuration. */
 struct ClusterConfig
 {
@@ -79,6 +125,9 @@ struct ClusterConfig
     bool checkInvariants = false;
     /** Retry/backoff budget charged against probe-timeout faults. */
     GacRetryConfig probeRetry;
+    /** Optional passive observer (not owned; may be nullptr). Called
+     *  on the driver thread only; see EngineObserver. */
+    EngineObserver *observer = nullptr;
 };
 
 /**

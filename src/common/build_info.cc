@@ -1,0 +1,79 @@
+#include "build_info.hh"
+
+#include <cstdio>
+#include <cstring>
+
+// The four identity macros come from CMPQOS_BUILD_INFO_DEFS in the
+// top-level CMakeLists; fall back to placeholders so stray compiles
+// (IDE single-file checks) still build.
+#ifndef CMPQOS_VERSION_STRING
+#define CMPQOS_VERSION_STRING "0.0.0"
+#endif
+#ifndef CMPQOS_GIT_HASH
+#define CMPQOS_GIT_HASH "nogit"
+#endif
+#ifndef CMPQOS_BUILD_TYPE
+#define CMPQOS_BUILD_TYPE "unknown"
+#endif
+#ifndef CMPQOS_BUILD_OPTIONS
+#define CMPQOS_BUILD_OPTIONS ""
+#endif
+
+namespace cmpqos
+{
+
+namespace
+{
+
+const char *
+compilerString()
+{
+#if defined(__clang__)
+    return "clang " __clang_version__;
+#elif defined(__GNUC__)
+    return "gcc " __VERSION__;
+#else
+    return "unknown-compiler";
+#endif
+}
+
+} // namespace
+
+const BuildInfo &
+buildInfo()
+{
+    static const BuildInfo info = {
+        CMPQOS_VERSION_STRING, CMPQOS_GIT_HASH, compilerString(),
+        CMPQOS_BUILD_TYPE,     CMPQOS_BUILD_OPTIONS,
+    };
+    return info;
+}
+
+std::string
+buildInfoLine(const std::string &tool)
+{
+    const BuildInfo &b = buildInfo();
+    std::string line = tool + " (cmpqos " + b.version + ", git " +
+                       b.gitHash + ", " + b.compiler + ", " +
+                       b.buildType;
+    if (b.options[0] != '\0') {
+        line += ", ";
+        line += b.options;
+    }
+    line += ")";
+    return line;
+}
+
+bool
+handleVersionFlag(const std::string &tool, int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--version") == 0) {
+            std::printf("%s\n", buildInfoLine(tool).c_str());
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace cmpqos

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Build identity shared by every CLI's `--version` flag and reported
+ * by `qosd` in its protocol handshake: semantic version, git hash,
+ * compiler, build type and the option set the binary was compiled
+ * with. One helper, one format, so a version line from any tool (or a
+ * daemon handshake captured in a bug report) pins the exact build.
+ */
+
+#ifndef CMPQOS_COMMON_BUILD_INFO_HH
+#define CMPQOS_COMMON_BUILD_INFO_HH
+
+#include <string>
+
+namespace cmpqos
+{
+
+/** Static build identity, filled in at compile time. */
+struct BuildInfo
+{
+    /** Semantic version (CMake project version). */
+    const char *version;
+    /** Short git hash of the source tree ("nogit" outside a repo). */
+    const char *gitHash;
+    /** Compiler name and version. */
+    const char *compiler;
+    /** CMake build type (Release, RelWithDebInfo, ...). */
+    const char *buildType;
+    /** Space-separated option summary (telemetry, sanitizers, ...). */
+    const char *options;
+};
+
+/** The build identity of this binary. */
+const BuildInfo &buildInfo();
+
+/**
+ * Canonical one-line form:
+ * `<tool> (cmpqos <version>, git <hash>, <compiler>, <type>, <opts>)`.
+ */
+std::string buildInfoLine(const std::string &tool);
+
+/**
+ * Shared `--version` handling: when any argument is `--version`,
+ * print buildInfoLine(@p tool) and return true (caller exits 0).
+ * Scans the whole argv so `--version` works in any position.
+ */
+bool handleVersionFlag(const std::string &tool, int argc,
+                       char **argv);
+
+} // namespace cmpqos
+
+#endif // CMPQOS_COMMON_BUILD_INFO_HH

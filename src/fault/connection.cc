@@ -1,0 +1,129 @@
+#include "connection.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/random.hh"
+
+namespace cmpqos
+{
+
+const char *
+connFaultTypeName(ConnFaultType t)
+{
+    switch (t) {
+      case ConnFaultType::TruncateFrame: return "truncate";
+      case ConnFaultType::OversizeFrame: return "oversize";
+      case ConnFaultType::GarbageBytes: return "garbage";
+      case ConnFaultType::CorruptByte: return "corrupt";
+    }
+    return "?";
+}
+
+std::string
+ConnFaultSpec::format() const
+{
+    std::string s = connFaultTypeName(type);
+    s += ' ';
+    s += std::to_string(param);
+    if (type == ConnFaultType::GarbageBytes) {
+        s += ' ';
+        s += std::to_string(seed);
+    }
+    return s;
+}
+
+std::string
+ConnFaultPlan::summary() const
+{
+    std::string s;
+    for (const ConnFaultSpec &f : faults) {
+        if (!s.empty())
+            s += "; ";
+        s += f.format();
+    }
+    return s;
+}
+
+void
+ConnFaultPlan::write(std::ostream &os) const
+{
+    for (const ConnFaultSpec &f : faults)
+        os << f.format() << '\n';
+}
+
+bool
+ConnFaultPlan::tryParse(std::istream &is, ConnFaultPlan &out,
+                        std::string &error)
+{
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        std::string word;
+        if (!(fields >> word))
+            continue; // blank / comment-only line
+        ConnFaultSpec spec;
+        if (word == "truncate")
+            spec.type = ConnFaultType::TruncateFrame;
+        else if (word == "oversize")
+            spec.type = ConnFaultType::OversizeFrame;
+        else if (word == "garbage")
+            spec.type = ConnFaultType::GarbageBytes;
+        else if (word == "corrupt")
+            spec.type = ConnFaultType::CorruptByte;
+        else {
+            error = "line " + std::to_string(lineno) +
+                    ": unknown directive '" + word + "'";
+            return false;
+        }
+        if (!(fields >> spec.param)) {
+            error = "line " + std::to_string(lineno) + ": '" + word +
+                    "' needs a numeric parameter";
+            return false;
+        }
+        if (spec.type == ConnFaultType::GarbageBytes)
+            fields >> spec.seed; // optional; default kept on failure
+        out.faults.push_back(spec);
+    }
+    return true;
+}
+
+std::string
+corruptFrame(std::string_view frame, const ConnFaultSpec &fault)
+{
+    switch (fault.type) {
+      case ConnFaultType::TruncateFrame:
+        return std::string(
+            frame.substr(0, static_cast<std::size_t>(fault.param)));
+      case ConnFaultType::OversizeFrame: {
+        std::string out;
+        const auto len = static_cast<std::uint32_t>(fault.param);
+        for (int i = 0; i < 4; ++i)
+            out.push_back(
+                static_cast<char>((len >> (8 * i)) & 0xff));
+        return out;
+      }
+      case ConnFaultType::GarbageBytes: {
+        std::string out;
+        Rng rng(fault.seed);
+        out.reserve(static_cast<std::size_t>(fault.param));
+        for (std::uint64_t i = 0; i < fault.param; ++i)
+            out.push_back(static_cast<char>(rng.next() & 0xff));
+        return out;
+      }
+      case ConnFaultType::CorruptByte: {
+        std::string out(frame);
+        if (fault.param < out.size())
+            out[static_cast<std::size_t>(fault.param)] ^= 0x01;
+        return out;
+      }
+    }
+    return std::string(frame);
+}
+
+} // namespace cmpqos

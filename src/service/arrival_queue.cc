@@ -1,0 +1,66 @@
+#include "arrival_queue.hh"
+
+#include "common/logging.hh"
+
+namespace cmpqos
+{
+
+bool
+BlockingArrivalQueue::push(const ClusterArrival &arrival)
+{
+    {
+        MutexLock lock(mu_);
+        if (closed_)
+            return false;
+        cmpqos_assert(pushed_ == 0 || arrival.time >= lastTime_,
+                      "arrival queue: time %llu after %llu breaks "
+                      "monotonicity",
+                      static_cast<unsigned long long>(arrival.time),
+                      static_cast<unsigned long long>(lastTime_));
+        lastTime_ = arrival.time;
+        queue_.push_back(arrival);
+        ++pushed_;
+    }
+    cv_.notify_one();
+    return true;
+}
+
+void
+BlockingArrivalQueue::close()
+{
+    {
+        MutexLock lock(mu_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+bool
+BlockingArrivalQueue::closed() const
+{
+    MutexLock lock(mu_);
+    return closed_;
+}
+
+std::uint64_t
+BlockingArrivalQueue::pushed() const
+{
+    MutexLock lock(mu_);
+    return pushed_;
+}
+
+std::optional<ClusterArrival>
+BlockingArrivalQueue::next()
+{
+    MutexLock lock(mu_);
+    cv_.wait(lock, [this]() CMPQOS_REQUIRES(mu_) {
+        return closed_ || !queue_.empty();
+    });
+    if (queue_.empty())
+        return std::nullopt;
+    ClusterArrival a = queue_.front();
+    queue_.pop_front();
+    return a;
+}
+
+} // namespace cmpqos

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The live end of the replay-fidelity argument: a blocking queue that
+ * IS an ArrivalProcess.
+ *
+ * ClusterEngine's run loop is driven purely by the arrival sequence —
+ * `next()` is pulled when the previous arrival was placed, and the
+ * engine advances virtual time only between arrivals (or on drain).
+ * So feeding the engine from a queue whose `next()` blocks until a
+ * submission arrives (or the queue closes) executes exactly the same
+ * engine code path, in exactly the same order, as a
+ * TraceArrivalProcess replaying the same arrivals: wall-clock gaps
+ * between submissions are invisible to the simulation. That is the
+ * whole determinism story of qosd — drain is just close(), and the
+ * journal written at push time replays the epoch byte-identically.
+ *
+ * Single consumer (the engine thread, inside runToCompletion);
+ * producers are whoever holds the daemon's submission lock. Pushed
+ * times must be monotone, matching the ArrivalProcess contract.
+ */
+
+#ifndef CMPQOS_SERVICE_ARRIVAL_QUEUE_HH
+#define CMPQOS_SERVICE_ARRIVAL_QUEUE_HH
+
+#include <condition_variable>
+#include <deque>
+#include <optional>
+
+#include "cluster/arrival.hh"
+#include "common/annotations.hh"
+
+namespace cmpqos
+{
+
+/** Closeable blocking arrival stream. */
+class BlockingArrivalQueue : public ArrivalProcess
+{
+  public:
+    BlockingArrivalQueue() = default;
+
+    /**
+     * Enqueue one arrival; returns false (and drops it) once the
+     * queue is closed. Arrival times must be monotone across pushes.
+     */
+    bool push(const ClusterArrival &arrival) CMPQOS_EXCLUDES(mu_);
+
+    /** End the stream: pending arrivals still drain, then next()
+     *  returns nullopt. Idempotent. */
+    void close() CMPQOS_EXCLUDES(mu_);
+
+    bool closed() const CMPQOS_EXCLUDES(mu_);
+
+    /** Arrivals accepted by push() so far. */
+    std::uint64_t pushed() const CMPQOS_EXCLUDES(mu_);
+
+    /**
+     * Consumer side: blocks until an arrival is available or the
+     * queue is closed and empty (then nullopt, ending the engine's
+     * run). Virtual time simply waits with it — blocking here is what
+     * makes a live daemon run replayable from its journal.
+     */
+    std::optional<ClusterArrival> next() override CMPQOS_EXCLUDES(mu_);
+
+  private:
+    mutable Mutex mu_;
+    std::condition_variable_any cv_;
+    std::deque<ClusterArrival> queue_ CMPQOS_GUARDED_BY(mu_);
+    bool closed_ CMPQOS_GUARDED_BY(mu_) = false;
+    std::uint64_t pushed_ CMPQOS_GUARDED_BY(mu_) = 0;
+    Cycle lastTime_ CMPQOS_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_SERVICE_ARRIVAL_QUEUE_HH

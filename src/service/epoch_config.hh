@@ -1,0 +1,84 @@
+/**
+ * @file
+ * One epoch's worth of daemon configuration, and the key=value
+ * directive grammar shared by live reconfig (the Reconfig message),
+ * the journal header (`# config:` line) and qosd's own flags.
+ *
+ * An epoch is the daemon's unit of determinism: every submission
+ * accepted between two drains executes under one immutable
+ * EpochConfig, and the journal header records it, so the epoch can be
+ * replayed bit-identically by `cluster_driver --trace <journal>` with
+ * the flags in the header's `# replay:` line (or programmatically via
+ * epochClusterConfig / epochMix).
+ */
+
+#ifndef CMPQOS_SERVICE_EPOCH_CONFIG_HH
+#define CMPQOS_SERVICE_EPOCH_CONFIG_HH
+
+#include <string>
+#include <string_view>
+
+#include "cluster/engine.hh"
+
+namespace cmpqos
+{
+
+/** Everything the engine behind one daemon epoch is built from. */
+struct EpochConfig
+{
+    int nodes = 8;
+    /** Placement quantum, cycles. */
+    Cycle quantum = 2'000'000;
+    std::uint64_t seed = 1;
+    GacPolicy policy = GacPolicy::LeastLoaded;
+    bool negotiate = true;
+    /** Silver tier's Elastic(X) budget: the fraction of its reserved
+     *  L2 ways an elastic job lets the stealing engine take. */
+    double elasticX = 0.05;
+    /** Gap between auto-assigned arrival times, cycles. */
+    Cycle arrivalGap = 250'000;
+    /** Instructions per job when a submission does not specify. */
+    InstCount instructions = 2'000'000;
+    /** Run the invariant oracle at every quantum barrier. */
+    bool checkInvariants = true;
+};
+
+/**
+ * Apply one `key=value` directive to @p c. Keys: nodes, quantum,
+ * seed, policy, negotiate, elastic-x, arrival-gap, instructions,
+ * check-invariants. Values are validated (nodes >= 1, quantum > 0,
+ * elastic-x in [0,1], ...); on failure @p err names the problem and
+ * @p c is unchanged.
+ */
+bool applyEpochDirective(EpochConfig &c, std::string_view key,
+                         std::string_view value, std::string &err);
+
+/**
+ * Apply a whitespace-separated run of `key=value` directives.
+ * All-or-nothing: on any failure @p c is unchanged.
+ */
+bool applyEpochDirectives(EpochConfig &c, std::string_view directives,
+                          std::string &err);
+
+/** Render @p c as the canonical directive run (journal `# config:`
+ *  line payload; parseable by applyEpochDirectives). */
+std::string formatEpochConfig(const EpochConfig &c);
+
+/** The arrival mix an epoch runs under: ArrivalMix::defaults() with
+ *  the Silver tier's elastic budget and the default instruction count
+ *  swapped in. */
+ArrivalMix epochMix(const EpochConfig &c);
+
+/** Build the engine configuration for one epoch. @p threads is the
+ *  worker-thread count (0 = hardware) — deliberately not part of
+ *  EpochConfig, since the fingerprint must not depend on it. */
+ClusterConfig epochClusterConfig(const EpochConfig &c, unsigned threads);
+
+/** The cluster_driver invocation that replays a journal written under
+ *  @p c (journal path substituted for @p journal_path). */
+std::string replayCommand(const EpochConfig &c,
+                          const std::string &journal_path);
+
+} // namespace cmpqos
+
+#endif // CMPQOS_SERVICE_EPOCH_CONFIG_HH

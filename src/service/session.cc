@@ -1,0 +1,89 @@
+#include "session.hh"
+
+#include <cerrno>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace cmpqos
+{
+
+Session::Session(int fd, std::uint64_t id, std::size_t max_frame)
+    : fd_(fd), id_(id), maxFrame_(max_frame)
+{
+}
+
+Session::~Session()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+Session::readAvailable()
+{
+    char buf[4096];
+    while (true) {
+        const ssize_t n = ::read(fd_, buf, sizeof(buf));
+        if (n > 0) {
+            rx_.append(buf, static_cast<std::size_t>(n));
+            if (static_cast<std::size_t>(n) < sizeof(buf))
+                return true; // drained (short read on a ready fd)
+            continue;
+        }
+        if (n == 0)
+            return false; // orderly close
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return true;
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+}
+
+DecodeResult
+Session::nextMessage()
+{
+    if (rx_.empty()) {
+        DecodeResult r;
+        r.status = DecodeResult::Status::NeedMore;
+        return r;
+    }
+    if (!modeKnown_) {
+        mode_ = detectWireMode(rx_[0]);
+        modeKnown_ = true;
+    }
+    DecodeResult r = decodeFrame(rx_, mode_, maxFrame_);
+    if (r.consumed > 0)
+        rx_.erase(0, r.consumed);
+    return r;
+}
+
+void
+Session::enqueue(const Message &m)
+{
+    tx_ += encodeMessage(m, mode_);
+}
+
+bool
+Session::flushSome()
+{
+    while (!tx_.empty()) {
+        // MSG_NOSIGNAL: a peer that vanished between poll and write
+        // must surface as EPIPE here, not SIGPIPE the process (the
+        // library cannot assume the embedder ignores the signal).
+        const ssize_t n =
+            ::send(fd_, tx_.data(), tx_.size(), MSG_NOSIGNAL);
+        if (n > 0) {
+            tx_.erase(0, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return true; // socket full; POLLOUT will resume
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+} // namespace cmpqos

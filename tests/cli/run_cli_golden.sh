@@ -5,14 +5,15 @@
 # time and derived rates -- everything else is deterministic at a
 # pinned thread count), and diffs the output against tests/cli/golden.
 #
-# Usage:   run_cli_golden.sh <cluster_driver> <telemetry_dump> <case>
-#          case: driver | dump | all
+# Usage:   run_cli_golden.sh <cluster_driver> <telemetry_dump> <case> [qosctl]
+#          case: driver | dump | usage | all (usage needs the qosctl path)
 # Update:  UPDATE_GOLDEN=1 run_cli_golden.sh ... all
 set -u
 
-DRIVER=${1:?usage: run_cli_golden.sh <cluster_driver> <telemetry_dump> <case>}
-DUMP=${2:?usage: run_cli_golden.sh <cluster_driver> <telemetry_dump> <case>}
+DRIVER=${1:?usage: run_cli_golden.sh <cluster_driver> <telemetry_dump> <case> [qosctl]}
+DUMP=${2:?usage: run_cli_golden.sh <cluster_driver> <telemetry_dump> <case> [qosctl]}
 CASE=${3:-all}
+QOSCTL=${4:-}
 HERE=$(cd "$(dirname "$0")" && pwd)
 FIXTURES=$HERE/fixtures
 GOLDEN=$HERE/golden
@@ -130,15 +131,64 @@ case_dump() {
     check dump_faults.txt "$WORK/dump_faults.norm"
 }
 
+# Flag hygiene: unknown flags / commands must exit 2 with a usage
+# message naming the offender, and --version must identify the build.
+# Behavioural checks only -- usage text itself may evolve freely.
+expect_usage_error() { # <label> <needle> <rc> <cmd...>
+    local label=$1 needle=$2 want_rc=$3
+    shift 3
+    local rc=0
+    "$@" >"$WORK/usage.out" 2>&1 || rc=$?
+    if [ "$rc" -ne "$want_rc" ]; then
+        echo "FAIL: $label exited $rc (want $want_rc)" >&2
+        cat "$WORK/usage.out" >&2
+        STATUS=1
+    elif ! grep -qF "$needle" "$WORK/usage.out"; then
+        echo "FAIL: $label output does not mention '$needle':" >&2
+        cat "$WORK/usage.out" >&2
+        STATUS=1
+    elif [ "$want_rc" -ne 0 ] && ! grep -q "^usage:" "$WORK/usage.out"; then
+        echo "FAIL: $label printed no usage text" >&2
+        STATUS=1
+    else
+        echo "ok: $label"
+    fi
+}
+
+case_usage() {
+    [ -n "$QOSCTL" ] || {
+        echo "usage case needs the qosctl path as the 4th argument" >&2
+        exit 1
+    }
+    expect_usage_error "cluster_driver unknown flag" \
+        "unknown option '--frobnicate'" 2 \
+        "$DRIVER" --frobnicate
+    expect_usage_error "qosctl unknown flag" \
+        "unknown option '--frobnicate'" 2 \
+        "$QOSCTL" --frobnicate
+    expect_usage_error "qosctl unknown command" \
+        "unknown command 'frobnicate'" 2 \
+        "$QOSCTL" --socket /nonexistent frobnicate
+    expect_usage_error "qosctl submit unknown flag" \
+        "unknown option '--frobnicate'" 2 \
+        "$QOSCTL" --socket /nonexistent submit --frobnicate
+    expect_usage_error "cluster_driver --version" "cmpqos" 0 \
+        "$DRIVER" --version
+    expect_usage_error "qosctl --version" "cmpqos" 0 \
+        "$QOSCTL" --version
+}
+
 case "$CASE" in
     driver) case_driver ;;
     dump) case_dump ;;
+    usage) case_usage ;;
     all)
         case_driver
         case_dump
+        case_usage
         ;;
     *)
-        echo "unknown case '$CASE' (want driver, dump or all)" >&2
+        echo "unknown case '$CASE' (want driver, dump, usage or all)" >&2
         exit 1
         ;;
 esac

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the submission journal: a journal file must be (a) a
+ * valid TraceArrivalProcess input and (b) self-describing — its
+ * header round-trips the epoch configuration it was written under.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "service/journal.hh"
+
+namespace cmpqos
+{
+namespace
+{
+
+/** Temp journal path unique to this test binary run. */
+std::string
+tempPath(const char *tag)
+{
+    std::string dir = ::testing::TempDir();
+    if (!dir.empty() && dir.back() != '/')
+        dir += '/';
+    return dir + "cmpqos-journal-" + tag + ".trace";
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(Journal, HeaderRecordsConfigAndReplayCommand)
+{
+    const std::string path = tempPath("header");
+    EpochConfig config;
+    config.nodes = 4;
+    config.seed = 7;
+    config.negotiate = false;
+    {
+        SubmissionJournal j(path, config, 3);
+        j.append(0, "bzip2", QosTier::Gold, 2'000'000);
+        j.append(250'000, "hmmer", QosTier::Silver, 2'000'000);
+        j.close();
+        EXPECT_EQ(j.entries(), 2u);
+        EXPECT_EQ(j.filePath(), path);
+    }
+    const std::string text = slurp(path);
+    EXPECT_NE(text.find("# cmpqos-journal v1 epoch=3"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("# config: " + formatEpochConfig(config)),
+              std::string::npos);
+    EXPECT_NE(text.find("# replay: " + replayCommand(config, path)),
+              std::string::npos);
+    EXPECT_NE(text.find("# end: 2 submissions"), std::string::npos);
+    EXPECT_NE(text.find("0 bzip2 gold 2000000"), std::string::npos);
+    EXPECT_NE(text.find("250000 hmmer silver 2000000"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, ReadJournalConfigRoundTrips)
+{
+    const std::string path = tempPath("roundtrip");
+    EpochConfig config;
+    config.nodes = 6;
+    config.quantum = 1'000'000;
+    config.seed = 99;
+    config.policy = GacPolicy::EarliestSlot;
+    config.elasticX = 0.125;
+    config.checkInvariants = true;
+    {
+        SubmissionJournal j(path, config, 0);
+        j.close();
+    }
+    EpochConfig back;
+    std::string err;
+    ASSERT_TRUE(readJournalConfig(path, back, err)) << err;
+    EXPECT_EQ(formatEpochConfig(back), formatEpochConfig(config));
+    std::remove(path.c_str());
+}
+
+TEST(Journal, ReadJournalConfigFailsCleanly)
+{
+    EpochConfig out;
+    std::string err;
+    EXPECT_FALSE(
+        readJournalConfig("/no/such/dir/journal.trace", out, err));
+    EXPECT_FALSE(err.empty());
+
+    // A trace file without a config header is not a journal.
+    const std::string path = tempPath("noheader");
+    {
+        std::ofstream f(path);
+        f << "0 bzip2 gold 2000000\n";
+    }
+    err.clear();
+    EXPECT_FALSE(readJournalConfig(path, out, err));
+    EXPECT_FALSE(err.empty());
+    std::remove(path.c_str());
+}
+
+TEST(Journal, JournalIsAValidArrivalTrace)
+{
+    const std::string path = tempPath("trace");
+    EpochConfig config;
+    {
+        SubmissionJournal j(path, config, 0);
+        j.append(0, "bzip2", QosTier::Gold, 1'000'000);
+        j.append(100, "hmmer", QosTier::Silver, 2'000'000);
+        j.append(100, "gobmk", QosTier::Bronze, 3'000'000);
+        j.close();
+    }
+    TraceArrivalProcess trace(path, epochMix(config));
+    EXPECT_EQ(trace.totalArrivals(), 3u);
+    auto a = trace.next();
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->time, 0u);
+    EXPECT_EQ(a->tier, QosTier::Gold);
+    EXPECT_EQ(a->instructions, 1'000'000u);
+    auto b = trace.next();
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->time, 100u);
+    EXPECT_EQ(b->tier, QosTier::Silver);
+    auto c = trace.next();
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(c->tier, QosTier::Bronze);
+    EXPECT_EQ(c->instructions, 3'000'000u);
+    EXPECT_FALSE(trace.next().has_value());
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace cmpqos

@@ -5,6 +5,7 @@
  * Used to tune the synthetic profiles against Table 1 / Figure 4.
  */
 #include <cstdio>
+#include "common/build_info.hh"
 #include "sim/simulation.hh"
 #include "workload/benchmark.hh"
 using namespace cmpqos;
@@ -30,6 +31,8 @@ static M measure(const BenchmarkProfile& b, unsigned ways, InstCount n)
 
 int main(int argc, char** argv)
 {
+    if (handleVersionFlag("calibration_dump", argc, argv))
+        return 0;
     InstCount n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 8'000'000;
     for (const auto& b : BenchmarkRegistry::all()) {
         // Fixed access count across benchmarks: scale instructions.

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "cluster/engine.hh"
+#include "common/build_info.hh"
 #include "common/logging.hh"
 #include "fault/plan.hh"
 #include "telemetry/collector.hh"
@@ -30,9 +31,10 @@ namespace
 {
 
 void
-usage(const char *argv0)
+usage(const char *argv0, std::FILE *out)
 {
-    std::printf(
+    std::fprintf(
+        out,
         "usage: %s [options]\n"
         "  --nodes N              CMP nodes in the cluster (default 8)\n"
         "  --threads T            worker threads, 0 = hardware (default 0)\n"
@@ -57,8 +59,13 @@ usage(const char *argv0)
         "  --fault-plan FILE      inject the fault plan in FILE (crash,\n"
         "                         restart, probe-drop, probe-timeout,\n"
         "                         dup-reply, slow-quantum directives)\n"
+        "  --elastic-x X          Silver tier Elastic(X) budget in [0, 1]\n"
+        "                         (default 0.05)\n"
         "  --check-invariants     run the invariant oracle at every quantum\n"
-        "                         barrier; exit 2 on any violation\n",
+        "                         barrier; exit 2 on any violation\n"
+        "  --fingerprint          print the canonical metrics fingerprint\n"
+        "                         (for replay verification)\n"
+        "  --version              print the build identity and exit\n",
         argv0);
 }
 
@@ -81,9 +88,14 @@ parsePolicy(const std::string &name)
 int
 main(int argc, char **argv)
 {
+    if (handleVersionFlag("cluster_driver", argc, argv))
+        return 0;
+
     ClusterConfig config;
     std::uint64_t jobs = 64;
     double mean_interarrival = 500'000.0;
+    double elastic_x = 0.05;
+    bool print_fingerprint = false;
     InstCount instructions = 2'000'000;
     Cycle duration = 0;
     std::string trace_path, jsonl_path, csv_path;
@@ -100,7 +112,7 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h") {
-            usage(argv[0]);
+            usage(argv[0], stdout);
             return 0;
         } else if (arg == "--nodes") {
             config.nodes = std::atoi(value(i));
@@ -138,16 +150,26 @@ main(int argc, char **argv)
                 std::strtoull(value(i), nullptr, 10);
         } else if (arg == "--fault-plan") {
             fault_plan_path = value(i);
+        } else if (arg == "--elastic-x") {
+            elastic_x = std::atof(value(i));
+            if (elastic_x < 0.0 || elastic_x > 1.0)
+                cmpqos_fatal("--elastic-x wants a fraction in [0, 1]");
         } else if (arg == "--check-invariants") {
             config.checkInvariants = true;
+        } else if (arg == "--fingerprint") {
+            print_fingerprint = true;
         } else {
-            usage(argv[0]);
-            cmpqos_fatal("unknown option '%s'", arg.c_str());
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
+                         arg.c_str());
+            usage(argv[0], stderr);
+            return 2;
         }
     }
 
     ArrivalMix mix = ArrivalMix::defaults();
     mix.instructions = instructions;
+    mix.tiers[static_cast<std::size_t>(QosTier::Silver)].mode =
+        ModeSpec::elastic(elastic_x);
     std::unique_ptr<ArrivalProcess> arrivals;
     if (!trace_path.empty()) {
         arrivals = std::make_unique<TraceArrivalProcess>(trace_path, mix);
@@ -271,6 +293,9 @@ main(int argc, char **argv)
                         m.faults.duplicateReplies),
                     static_cast<unsigned long long>(
                         m.faults.stalledQuanta));
+
+    if (print_fingerprint)
+        std::printf("fingerprint %s\n", m.fingerprint().c_str());
 
     if (!jsonl_path.empty())
         MetricsExporter::writeJsonlFile(m, jsonl_path);

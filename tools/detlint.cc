@@ -17,6 +17,7 @@
  *                                fire exactly that rule, and nothing
  *                                else may fire
  *   detlint --list-rules         print the rule table
+ *   detlint --version            print the build identity
  *
  * Escape hatch: `// detlint:allow(<rule>): <reason>` on the same
  * line, or on a comment line immediately above the construct,
@@ -471,8 +472,29 @@ main(int argc, char **argv)
         std::fprintf(
             stderr,
             "usage: detlint <path>... | --check-fixtures <dir> | "
-            "--list-rules\n");
+            "--list-rules | --version\n");
         return 2;
+    }
+    if (args[0] == "--version") {
+        // detlint deliberately links nothing from src/ (it polices
+        // that code), so it prints the identity macros directly
+        // instead of calling common/build_info.
+#ifndef CMPQOS_VERSION_STRING
+#define CMPQOS_VERSION_STRING "0.0.0"
+#endif
+#ifndef CMPQOS_GIT_HASH
+#define CMPQOS_GIT_HASH "nogit"
+#endif
+#ifndef CMPQOS_BUILD_TYPE
+#define CMPQOS_BUILD_TYPE "unknown"
+#endif
+#ifndef CMPQOS_BUILD_OPTIONS
+#define CMPQOS_BUILD_OPTIONS ""
+#endif
+        std::printf("detlint (cmpqos " CMPQOS_VERSION_STRING
+                    ", git " CMPQOS_GIT_HASH ", " CMPQOS_BUILD_TYPE
+                    ", " CMPQOS_BUILD_OPTIONS ")\n");
+        return 0;
     }
     if (args[0] == "--list-rules") {
         for (const Rule &r : rules())

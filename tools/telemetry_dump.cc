@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/build_info.hh"
 #include "common/logging.hh"
 #include "telemetry/event.hh"
 
@@ -368,6 +369,8 @@ usage(const char *argv0)
 int
 main(int argc, char **argv)
 {
+    if (handleVersionFlag("telemetry_dump", argc, argv))
+        return 0;
     std::string path;
     std::string mode = "summary";
     long long seq = -1;

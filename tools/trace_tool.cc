@@ -16,6 +16,7 @@
 #include <string>
 
 #include "cache/partitioned_cache.hh"
+#include "common/build_info.hh"
 #include "workload/trace.hh"
 
 using namespace cmpqos;
@@ -119,6 +120,8 @@ cmdReplay(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
+    if (handleVersionFlag("trace_tool", argc, argv))
+        return 0;
     if (argc < 2)
         return usage();
     const std::string cmd = argv[1];
