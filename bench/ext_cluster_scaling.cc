@@ -8,7 +8,9 @@
  * fingerprint — which must be identical at every thread count (the
  * determinism guarantee the tests enforce). Results are recorded in
  * EXPERIMENTS.md; speedup is bounded by the physical cores of the
- * host, so expect ~1.0x on a single-core machine.
+ * host, so expect ~1.0x on a single-core machine. Besides the table
+ * it emits a machine-readable BENCH_cluster_scaling.json (argv[1]
+ * overrides the path) so CI can archive a perf trajectory.
  */
 
 #include <cstdio>
@@ -16,6 +18,7 @@
 #include <vector>
 
 #include "cluster/engine.hh"
+#include "common/build_info.hh"
 
 using namespace cmpqos;
 
@@ -42,8 +45,10 @@ runOnce(unsigned threads)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_path =
+        argc > 1 ? argv[1] : "BENCH_cluster_scaling.json";
     std::printf("# ext_cluster_scaling: 8 nodes, 96 Poisson jobs, "
                 "seed 42\n");
     std::printf("# hardware concurrency: %u\n\n",
@@ -62,6 +67,13 @@ main()
 
     double base_wall = 0.0;
     std::string base_fp;
+    struct Row
+    {
+        unsigned threads;
+        double wallSeconds;
+        double jobsPerSecond;
+    };
+    std::vector<Row> rows;
     for (unsigned t : counts) {
         const ClusterMetrics m = runOnce(t);
         if (t == 1) {
@@ -80,6 +92,32 @@ main()
                         t, base_fp.c_str(), m.fingerprint().c_str());
             return 1;
         }
+        rows.push_back({t, m.wallSeconds, m.jobsPerWallSecond()});
     }
+
+    std::FILE *out = std::fopen(json_path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"ext_cluster_scaling\",\n"
+                 "  \"git_hash\": \"%s\",\n"
+                 "  \"nodes\": 8,\n"
+                 "  \"jobs\": 96,\n"
+                 "  \"seed\": 42,\n"
+                 "  \"configs\": [\n",
+                 buildInfo().gitHash);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        std::fprintf(out,
+                     "    {\"threads\": %u, \"wall_seconds\": %.6f, "
+                     "\"jobs_per_second\": %.1f}%s\n",
+                     rows[i].threads, rows[i].wallSeconds,
+                     rows[i].jobsPerSecond,
+                     i + 1 < rows.size() ? "," : "");
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("\nwrote %s\n", json_path.c_str());
     return 0;
 }

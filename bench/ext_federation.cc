@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Extension bench: throughput of the federated (multi-shard) engine.
+ *
+ * Runs the same 8-node open-loop workload single-process first (the
+ * fingerprint baseline), then federated at {2,4} shards x {1,4}
+ * threads over both transports, reporting wall-clock time, jobs/sec
+ * and whether each configuration reproduced the baseline fingerprint
+ * byte-for-byte (the determinism contract; any mismatch fails the
+ * bench). Besides the human-readable table it emits a
+ * machine-readable BENCH_federation.json (argv[1] overrides the
+ * path) so CI can archive a perf trajectory — see ROADMAP item 3.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/build_info.hh"
+#include "federation/federated_engine.hh"
+
+using namespace cmpqos;
+
+namespace
+{
+
+constexpr int kNodes = 8;
+constexpr int kJobs = 96;
+constexpr std::uint64_t kSeed = 42;
+
+ClusterConfig
+baseConfig(unsigned threads)
+{
+    ClusterConfig config;
+    config.nodes = kNodes;
+    config.threads = threads;
+    config.seed = kSeed;
+    config.quantum = 2'000'000;
+    return config;
+}
+
+PoissonArrivalProcess
+makeArrivals()
+{
+    ArrivalMix mix = ArrivalMix::defaults();
+    mix.instructions = 2'000'000;
+    return PoissonArrivalProcess(250'000.0, mix, kSeed ^ 0xa11a1ULL,
+                                 kJobs);
+}
+
+struct Row
+{
+    int shards;
+    unsigned threads;
+    const char *transport;
+    double wallSeconds;
+    double jobsPerSecond;
+    bool match;
+};
+
+ClusterMetrics
+runSingle(unsigned threads)
+{
+    PoissonArrivalProcess arrivals = makeArrivals();
+    ClusterEngine engine(baseConfig(threads));
+    return engine.runToCompletion(arrivals);
+}
+
+ClusterMetrics
+runFederated(int shards, unsigned threads, FedTransport transport)
+{
+    PoissonArrivalProcess arrivals = makeArrivals();
+    FederationConfig fed;
+    fed.shards = shards;
+    fed.transport = transport;
+    FederatedEngine engine(baseConfig(threads), fed);
+    return engine.runToCompletion(arrivals);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string json_path =
+        argc > 1 ? argv[1] : "BENCH_federation.json";
+
+    std::printf("# ext_federation: %d nodes, %d Poisson jobs, seed "
+                "%llu\n\n",
+                kNodes, kJobs,
+                static_cast<unsigned long long>(kSeed));
+    std::printf("%-8s %-8s %-10s %-10s %-10s %s\n", "shards",
+                "threads", "transport", "wall_s", "jobs/s",
+                "deterministic");
+
+    // Warm the solo-CPI calibration memo so the first measured run
+    // doesn't pay a one-time cost the later runs skip.
+    (void)runSingle(1);
+
+    std::vector<Row> rows;
+    const ClusterMetrics base = runSingle(1);
+    const std::string base_fp = base.fingerprint();
+    rows.push_back({1, 1, "single-process", base.wallSeconds,
+                    base.jobsPerWallSecond(), true});
+
+    bool ok = true;
+    for (int shards : {2, 4}) {
+        for (unsigned threads : {1u, 4u}) {
+            for (FedTransport transport :
+                 {FedTransport::Inproc, FedTransport::Uds}) {
+                const ClusterMetrics m =
+                    runFederated(shards, threads, transport);
+                const bool match = m.fingerprint() == base_fp;
+                ok = ok && match;
+                rows.push_back({shards, threads,
+                                fedTransportName(transport),
+                                m.wallSeconds, m.jobsPerWallSecond(),
+                                match});
+            }
+        }
+    }
+
+    for (const Row &r : rows)
+        std::printf("%-8d %-8u %-10s %-10.3f %-10.1f %s\n", r.shards,
+                    r.threads, r.transport, r.wallSeconds,
+                    r.jobsPerSecond, r.match ? "yes" : "NO");
+
+    std::FILE *out = std::fopen(json_path.c_str(), "w");
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"ext_federation\",\n"
+                 "  \"git_hash\": \"%s\",\n"
+                 "  \"nodes\": %d,\n"
+                 "  \"jobs\": %d,\n"
+                 "  \"seed\": %llu,\n"
+                 "  \"configs\": [\n",
+                 buildInfo().gitHash, kNodes, kJobs,
+                 static_cast<unsigned long long>(kSeed));
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::fprintf(out,
+                     "    {\"shards\": %d, \"threads\": %u, "
+                     "\"transport\": \"%s\", \"wall_seconds\": %.6f, "
+                     "\"jobs_per_second\": %.1f, "
+                     "\"fingerprint_match\": %s}%s\n",
+                     r.shards, r.threads, r.transport, r.wallSeconds,
+                     r.jobsPerSecond, r.match ? "true" : "false",
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("\nwrote %s\n", json_path.c_str());
+
+    if (!ok) {
+        std::printf("fingerprint mismatch against the single-process "
+                    "baseline!\n");
+        return 1;
+    }
+    return 0;
+}

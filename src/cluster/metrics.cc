@@ -137,6 +137,8 @@ ClusterMetrics::fingerprint() const
            << ":" << faults.probeTimeouts << ":" << faults.probeRetries
            << ":" << faults.backoffCycles << ":"
            << faults.duplicateReplies << ":" << faults.stalledQuanta
+           << ":" << faults.linkDrops << ":" << faults.linkDups << ":"
+           << faults.linkDelayCycles << ":" << faults.partitionedQuanta
            << " violations=" << invariantViolations;
     for (const auto &n : nodes) {
         os << " n" << n.node << "=" << n.placed << ":" << n.completed
@@ -153,7 +155,8 @@ void
 MetricsExporter::writeJsonl(const ClusterMetrics &m, std::ostream &os)
 {
     os << "{\"type\":\"cluster\",\"seed\":" << m.seed
-       << ",\"threads\":" << m.threads << ",\"quantum\":" << m.quantum
+       << ",\"threads\":" << m.threads << ",\"shards\":" << m.shards
+       << ",\"quantum\":" << m.quantum
        << ",\"submitted\":" << m.submitted
        << ",\"accepted\":" << m.accepted
        << ",\"rejected\":" << m.rejected
@@ -190,6 +193,10 @@ MetricsExporter::writeJsonl(const ClusterMetrics &m, std::ostream &os)
        << ",\"backoff_cycles\":" << m.faults.backoffCycles
        << ",\"duplicate_replies\":" << m.faults.duplicateReplies
        << ",\"stalled_quanta\":" << m.faults.stalledQuanta
+       << ",\"link_drops\":" << m.faults.linkDrops
+       << ",\"link_dups\":" << m.faults.linkDups
+       << ",\"link_delay_cycles\":" << m.faults.linkDelayCycles
+       << ",\"partitioned_quanta\":" << m.faults.partitionedQuanta
        << "},\"invariant_violations\":" << m.invariantViolations
        << ",\"wall_seconds\":" << num(m.wallSeconds)
        << ",\"jobs_per_second\":" << num(m.jobsPerWallSecond()) << "}\n";

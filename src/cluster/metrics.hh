@@ -108,13 +108,27 @@ struct FaultTallies
     /** (node, quantum) pairs hit by a slow-quantum window. */
     std::uint64_t stalledQuanta = 0;
 
+    // Shard-link tallies (federated engine only; always zero in the
+    // single-process engine, so they stay fingerprint-invisible).
+
+    /** Shard messages whose first transmission was lost and resent. */
+    std::uint64_t linkDrops = 0;
+    /** Shard messages delivered twice and absorbed by seq dedup. */
+    std::uint64_t linkDups = 0;
+    /** Virtual cycles charged to shard-link latency windows. */
+    Cycle linkDelayCycles = 0;
+    /** (shard, quantum) advances deferred by a partition window. */
+    std::uint64_t partitionedQuanta = 0;
+
     bool
     any() const
     {
         return crashes || restarts || failedJobs || relocated ||
                relocationDowngraded || relocationRejected ||
                probesDropped || probeTimeouts || probeRetries ||
-               backoffCycles || duplicateReplies || stalledQuanta;
+               backoffCycles || duplicateReplies || stalledQuanta ||
+               linkDrops || linkDups || linkDelayCycles ||
+               partitionedQuanta;
     }
 };
 
@@ -124,6 +138,10 @@ struct ClusterMetrics
     // Run identity.
     std::uint64_t seed = 0;
     unsigned threads = 1;
+    /** Shard processes/controllers the run was federated over (1 =
+     *  the single-process engine). Excluded from the fingerprint,
+     *  like threads: shard count must not perturb results. */
+    int shards = 1;
     Cycle quantum = 0;
 
     // Driver-side admission counters.

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * The shared binary field codec behind every cmpqos wire format.
+ *
+ * `src/service/protocol` introduced the idiom: each message type lists
+ * its fields once, in wire order, inside a `visitFields` template, and
+ * the codec directions are visitors over that list. BinWriter and
+ * BinReader are the binary pair — little-endian fixed-width integers,
+ * bit-cast doubles, u16-length-prefixed strings — and live here so the
+ * federation layer's shard protocol shares one battle-tested
+ * implementation with the admission-service protocol instead of
+ * growing a second one.
+ *
+ * BinReader never throws and never reads past its buffer: a short or
+ * hostile input flips `ok` to false with a field-naming error, and
+ * every later field read becomes a no-op. Length-prefixed fields
+ * (strings, byte blobs, lists) are bounded by the bytes actually
+ * remaining, so a forged length cannot trigger an oversized
+ * allocation.
+ */
+
+#ifndef CMPQOS_COMMON_WIRE_CODEC_HH
+#define CMPQOS_COMMON_WIRE_CODEC_HH
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace cmpqos
+{
+
+/** Field-visitor that appends the binary encoding to `out`. */
+struct BinWriter
+{
+    std::string out;
+
+    void push16(std::uint16_t v)
+    {
+        out.push_back(static_cast<char>(v & 0xff));
+        out.push_back(static_cast<char>((v >> 8) & 0xff));
+    }
+    void push32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+    void push64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void u8(const char *, std::uint8_t v)
+    {
+        out.push_back(static_cast<char>(v));
+    }
+    void u32(const char *, std::uint32_t v) { push32(v); }
+    void u64(const char *, std::uint64_t v) { push64(v); }
+    void i32(const char *, std::int32_t v)
+    {
+        push32(static_cast<std::uint32_t>(v));
+    }
+    void f64(const char *, double v)
+    {
+        push64(std::bit_cast<std::uint64_t>(v));
+    }
+    void str(const char *name, const std::string &s)
+    {
+        cmpqos_assert(s.size() <= 0xffff,
+                      "wire string '%s' too long (%zu bytes)", name,
+                      s.size());
+        push16(static_cast<std::uint16_t>(s.size()));
+        out.append(s);
+    }
+    /** Opaque byte blob with a u32 length prefix. */
+    void bytes(const char *name, const std::string &b)
+    {
+        cmpqos_assert(b.size() <= 0xffffffffu,
+                      "wire blob '%s' too long (%zu bytes)", name,
+                      b.size());
+        push32(static_cast<std::uint32_t>(b.size()));
+        out.append(b);
+    }
+    void u64vec(const char *name, const std::vector<std::uint64_t> &v)
+    {
+        cmpqos_assert(v.size() <= 0xffffffffu,
+                      "wire vector '%s' too long", name);
+        push32(static_cast<std::uint32_t>(v.size()));
+        for (std::uint64_t x : v)
+            push64(x);
+    }
+    /** Length-prefixed list of sub-messages (each visits its own
+     *  fields through this writer). */
+    template <typename T>
+    void list(const char *name, std::vector<T> &items)
+    {
+        cmpqos_assert(items.size() <= 0xffffffffu,
+                      "wire list '%s' too long", name);
+        push32(static_cast<std::uint32_t>(items.size()));
+        for (T &item : items)
+            visitFields(item, *this);
+    }
+};
+
+/** Field-visitor that decodes the binary encoding from `in`. */
+struct BinReader
+{
+    std::string_view in;
+    std::size_t pos = 0;
+    bool ok = true;
+    std::string err;
+
+    bool need(std::size_t n, const char *name)
+    {
+        if (!ok)
+            return false;
+        if (in.size() - pos < n) {
+            ok = false;
+            err = std::string("truncated field '") + name + "'";
+            return false;
+        }
+        return true;
+    }
+    std::uint64_t take(std::size_t n)
+    {
+        std::uint64_t v = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(in[pos + i]))
+                 << (8 * i);
+        pos += n;
+        return v;
+    }
+
+    void u8(const char *name, std::uint8_t &v)
+    {
+        if (need(1, name))
+            v = static_cast<std::uint8_t>(take(1));
+    }
+    void u32(const char *name, std::uint32_t &v)
+    {
+        if (need(4, name))
+            v = static_cast<std::uint32_t>(take(4));
+    }
+    void u64(const char *name, std::uint64_t &v)
+    {
+        if (need(8, name))
+            v = take(8);
+    }
+    void i32(const char *name, std::int32_t &v)
+    {
+        if (need(4, name))
+            v = static_cast<std::int32_t>(
+                static_cast<std::uint32_t>(take(4)));
+    }
+    void f64(const char *name, double &v)
+    {
+        if (need(8, name))
+            v = std::bit_cast<double>(take(8));
+    }
+    void str(const char *name, std::string &v)
+    {
+        if (!need(2, name))
+            return;
+        const auto len = static_cast<std::size_t>(take(2));
+        if (!need(len, name))
+            return;
+        v.assign(in.substr(pos, len));
+        pos += len;
+    }
+    void bytes(const char *name, std::string &v)
+    {
+        if (!need(4, name))
+            return;
+        const auto len = static_cast<std::size_t>(take(4));
+        if (!need(len, name))
+            return;
+        v.assign(in.substr(pos, len));
+        pos += len;
+    }
+    void u64vec(const char *name, std::vector<std::uint64_t> &v)
+    {
+        v.clear();
+        if (!need(4, name))
+            return;
+        const auto count = static_cast<std::size_t>(take(4));
+        // Each element is 8 bytes: a forged count larger than the
+        // remaining payload fails fast instead of allocating.
+        if (!need(count * 8, name))
+            return;
+        v.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            v.push_back(take(8));
+    }
+    template <typename T>
+    void list(const char *name, std::vector<T> &items)
+    {
+        items.clear();
+        if (!need(4, name))
+            return;
+        const auto count = static_cast<std::size_t>(take(4));
+        // Every sub-message encodes at least one byte, so a count
+        // beyond the remaining bytes can never decode; reject it
+        // before reserving anything.
+        if (count > in.size() - pos) {
+            ok = false;
+            err = std::string("oversized list '") + name + "'";
+            return;
+        }
+        items.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            items.emplace_back();
+            visitFields(items.back(), *this);
+            if (!ok)
+                return;
+        }
+    }
+};
+
+} // namespace cmpqos
+
+#endif // CMPQOS_COMMON_WIRE_CODEC_HH

@@ -107,4 +107,35 @@ FaultInjector::stallCycles(NodeId node, Cycle t) const
     return stall;
 }
 
+bool
+FaultInjector::linkDropped(int shard, Cycle t) const
+{
+    return inWindow(FaultType::LinkDrop, static_cast<NodeId>(shard), t);
+}
+
+bool
+FaultInjector::linkDuplicated(int shard, Cycle t) const
+{
+    return inWindow(FaultType::LinkDup, static_cast<NodeId>(shard), t);
+}
+
+Cycle
+FaultInjector::linkDelayCycles(int shard, Cycle t) const
+{
+    Cycle delay = 0;
+    for (const Window &w : windows_)
+        if (w.type == FaultType::LinkDelay &&
+            w.node == static_cast<NodeId>(shard) && t >= w.begin &&
+            t < w.end)
+            delay = std::max(delay, w.stall);
+    return delay;
+}
+
+bool
+FaultInjector::partitioned(int shard, Cycle t) const
+{
+    return inWindow(FaultType::Partition, static_cast<NodeId>(shard),
+                    t);
+}
+
 } // namespace cmpqos

@@ -91,6 +91,21 @@ class FaultInjector
      *  @p t (0 = no slow-quantum window; max over overlaps). */
     Cycle stallCycles(NodeId node, Cycle t) const;
 
+    // Shard-link queries (federated engine; the id names a shard).
+
+    /** Messages to @p shard at @p t lose their first transmission. */
+    bool linkDropped(int shard, Cycle t) const;
+
+    /** Messages to @p shard at @p t are delivered twice. */
+    bool linkDuplicated(int shard, Cycle t) const;
+
+    /** Virtual link latency charged per message to @p shard at @p t
+     *  (0 = healthy link; max over overlapping windows). */
+    Cycle linkDelayCycles(int shard, Cycle t) const;
+
+    /** @p shard is unreachable at @p t (transient partition). */
+    bool partitioned(int shard, Cycle t) const;
+
     bool anyWindows() const { return !windows_.empty(); }
 
   private:

@@ -20,8 +20,19 @@ faultTypeName(FaultType t)
       case FaultType::ProbeTimeout: return "probe-timeout";
       case FaultType::DuplicateReply: return "dup-reply";
       case FaultType::SlowQuantum: return "slow-quantum";
+      case FaultType::LinkDrop: return "link-drop";
+      case FaultType::LinkDup: return "link-dup";
+      case FaultType::LinkDelay: return "link-delay";
+      case FaultType::Partition: return "partition";
     }
     return "?";
+}
+
+bool
+faultTargetsShard(FaultType t)
+{
+    return t == FaultType::LinkDrop || t == FaultType::LinkDup ||
+           t == FaultType::LinkDelay || t == FaultType::Partition;
 }
 
 namespace
@@ -33,7 +44,9 @@ faultTypeFromName(const std::string &name, FaultType &out)
     for (FaultType t :
          {FaultType::NodeCrash, FaultType::NodeRestart,
           FaultType::ProbeDrop, FaultType::ProbeTimeout,
-          FaultType::DuplicateReply, FaultType::SlowQuantum}) {
+          FaultType::DuplicateReply, FaultType::SlowQuantum,
+          FaultType::LinkDrop, FaultType::LinkDup,
+          FaultType::LinkDelay, FaultType::Partition}) {
         if (name == faultTypeName(t)) {
             out = t;
             return true;
@@ -59,7 +72,7 @@ FaultSpec::format() const
         os << " " << durationQuanta;
     if (type == FaultType::ProbeTimeout)
         os << " " << failures;
-    if (type == FaultType::SlowQuantum)
+    if (type == FaultType::SlowQuantum || type == FaultType::LinkDelay)
         os << " " << stallCycles;
     return os.str();
 }
@@ -125,7 +138,8 @@ FaultPlan::tryParse(std::istream &is, FaultPlan &out, std::string &error)
         }
         if (spec.type == FaultType::ProbeTimeout)
             ls >> spec.failures;
-        if (spec.type == FaultType::SlowQuantum)
+        if (spec.type == FaultType::SlowQuantum ||
+            spec.type == FaultType::LinkDelay)
             ls >> spec.stallCycles;
         out.faults.push_back(spec);
     }
@@ -200,14 +214,65 @@ FaultPlan::random(std::uint64_t seed, int nodes,
     return plan;
 }
 
+FaultPlan
+FaultPlan::randomFederated(std::uint64_t seed, int nodes, int shards,
+                           std::uint64_t max_quantum,
+                           std::size_t events)
+{
+    cmpqos_assert(shards > 0, "federated plan needs at least one shard");
+    // Node faults first (same generator, distinct stream), then a
+    // link-fault sprinkle over the shards: roughly one link event per
+    // three node events, mixing every link type.
+    FaultPlan plan = random(seed, nodes, max_quantum, events);
+    Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+    const std::size_t link_events = 1 + events / 3;
+    for (std::size_t i = 0; i < link_events; ++i) {
+        FaultSpec spec;
+        spec.node = static_cast<NodeId>(
+            rng.uniformInt(static_cast<std::uint64_t>(shards)));
+        spec.quantum = 1 + rng.uniformInt(max_quantum);
+        spec.durationQuanta = 1 + rng.uniformInt(3);
+        switch (rng.uniformInt(4)) {
+          case 0: spec.type = FaultType::LinkDrop; break;
+          case 1: spec.type = FaultType::LinkDup; break;
+          case 2:
+            spec.type = FaultType::LinkDelay;
+            spec.stallCycles = 10'000 + rng.uniformInt(200'000);
+            break;
+          default: spec.type = FaultType::Partition; break;
+        }
+        plan.faults.push_back(spec);
+    }
+    return plan;
+}
+
+bool
+FaultPlan::hasLinkFaults() const
+{
+    for (const FaultSpec &f : faults)
+        if (faultTargetsShard(f.type))
+            return true;
+    return false;
+}
+
 void
-FaultPlan::validate(int nodes) const
+FaultPlan::validate(int nodes, int shards) const
 {
     for (const FaultSpec &f : faults) {
-        if (f.node < 0 || f.node >= nodes)
+        if (faultTargetsShard(f.type)) {
+            if (shards <= 0)
+                cmpqos_fatal("fault plan contains shard-link faults "
+                             "('%s') but the engine is not federated",
+                             f.format().c_str());
+            if (f.node < 0 || f.node >= shards)
+                cmpqos_fatal("fault plan targets shard %d, federation "
+                             "has %d shards ('%s')",
+                             f.node, shards, f.format().c_str());
+        } else if (f.node < 0 || f.node >= nodes) {
             cmpqos_fatal("fault plan targets node %d, cluster has %d "
                          "nodes ('%s')",
                          f.node, nodes, f.format().c_str());
+        }
         if (hasWindow(f.type) && f.durationQuanta == 0)
             cmpqos_fatal("fault plan window must cover >= 1 quantum "
                          "('%s')",

@@ -20,6 +20,15 @@
  *     probe-timeout <node> <quantum> [quanta] [failures]
  *     dup-reply <node> <quantum> [quanta]
  *     slow-quantum <node> <quantum> [quanta] [stall_cycles]
+ *
+ * Shard-link directives (federated engine only; the target id names a
+ * SHARD, not a node — a plan containing them is rejected by the
+ * single-process engine):
+ *
+ *     link-drop <shard> <quantum> [quanta]
+ *     link-dup <shard> <quantum> [quanta]
+ *     link-delay <shard> <quantum> [quanta] [delay_cycles]
+ *     partition <shard> <quantum> [quanta]
  */
 
 #ifndef CMPQOS_FAULT_PLAN_HH
@@ -53,9 +62,26 @@ enum class FaultType
     /** The node advances `stallCycles` short of each quantum target
      *  inside the window (a latency spike, in virtual time). */
     SlowQuantum,
+    /** Coordinator->shard messages lose their first transmission and
+     *  are retransmitted (federated engine; target is a shard id). */
+    LinkDrop,
+    /** Coordinator->shard messages are delivered twice; the shard's
+     *  sequence dedup must absorb the copy (target is a shard id). */
+    LinkDup,
+    /** Coordinator->shard messages are charged `stallCycles` of
+     *  virtual link latency (target is a shard id). */
+    LinkDelay,
+    /** The shard is unreachable for the window: its nodes take no
+     *  placements and its quantum advances are deferred until the
+     *  partition heals (target is a shard id). */
+    Partition,
 };
 
 const char *faultTypeName(FaultType t);
+
+/** True when the fault targets a shard link (federated engine only)
+ *  rather than a node. */
+bool faultTargetsShard(FaultType t);
 
 /** One planned fault. */
 struct FaultSpec
@@ -69,7 +95,8 @@ struct FaultSpec
     std::uint64_t durationQuanta = 1;
     /** ProbeTimeout: timed-out attempts before a probe succeeds. */
     unsigned failures = 1;
-    /** SlowQuantum: cycles the node falls short of each target. */
+    /** SlowQuantum: cycles the node falls short of each target.
+     *  LinkDelay: virtual link latency charged per message. */
     Cycle stallCycles = 250'000;
 
     /** The directive's text form (one plan line). */
@@ -112,8 +139,26 @@ struct FaultPlan
                             std::uint64_t max_quantum,
                             std::size_t events);
 
-    /** Fatal() unless every directive targets a node in [0,nodes). */
-    void validate(int nodes) const;
+    /**
+     * Seeded random plan for a federated run: node faults as random()
+     * plus shard-link faults (drop/dup/delay/partition) over @p shards
+     * shards. Deterministic in @p seed.
+     */
+    static FaultPlan randomFederated(std::uint64_t seed, int nodes,
+                                     int shards,
+                                     std::uint64_t max_quantum,
+                                     std::size_t events);
+
+    /** True when any directive targets a shard link. */
+    bool hasLinkFaults() const;
+
+    /**
+     * Fatal() unless every node directive targets a node in
+     * [0, nodes) and every shard-link directive targets a shard in
+     * [0, shards). @p shards 0 (the single-process engine) rejects
+     * any plan containing link faults — they would silently no-op.
+     */
+    void validate(int nodes, int shards = 0) const;
 };
 
 } // namespace cmpqos

@@ -1,0 +1,952 @@
+#include "federated_engine.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <optional>
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace cmpqos
+{
+
+const char *
+fedTransportName(FedTransport t)
+{
+    switch (t) {
+      case FedTransport::Inproc:
+        return "inproc";
+      case FedTransport::Uds:
+        return "uds";
+    }
+    return "?";
+}
+
+bool
+parseFedTransport(const std::string &name, FedTransport &out)
+{
+    if (name == "inproc") {
+        out = FedTransport::Inproc;
+        return true;
+    }
+    if (name == "uds") {
+        out = FedTransport::Uds;
+        return true;
+    }
+    return false;
+}
+
+FederatedEngine::FederatedEngine(const ClusterConfig &config,
+                                 const FederationConfig &federation)
+    : config_(config), federation_(federation)
+{
+    driver_.grant();
+    cmpqos_assert(config_.nodes > 0, "cluster needs at least one node");
+    cmpqos_assert(config_.quantum > 0, "placement quantum must be > 0");
+    cmpqos_assert(federation_.shards >= 1 &&
+                      federation_.shards <= config_.nodes,
+                  "shard count %d must be in [1, %d nodes]",
+                  federation_.shards, config_.nodes);
+    resolvedThreads_ = config_.threads == 0
+                           ? ThreadPool::hardwareConcurrency()
+                           : config_.threads;
+
+    if (config_.telemetry != nullptr) {
+        cmpqos_assert(config_.telemetry->producers() >=
+                          config_.nodes + 1,
+                      "telemetry collector has %d producers, cluster "
+                      "needs %d (nodes + driver)",
+                      config_.telemetry->producers(), config_.nodes + 1);
+        driverTrace_ = config_.telemetry->driverRecorder();
+    }
+
+    alive_.assign(static_cast<std::size_t>(config_.nodes), 1);
+    probeSkip_.assign(static_cast<std::size_t>(config_.nodes), 0);
+    if (config_.faultPlan != nullptr && !config_.faultPlan->empty()) {
+        config_.faultPlan->validate(config_.nodes, federation_.shards);
+        injector_ = std::make_unique<FaultInjector>(*config_.faultPlan,
+                                                    config_.quantum);
+    }
+
+    // The SAME SplitMix expansion of the cluster seed as the
+    // single-process engine, over ALL nodes in global order — each
+    // shard receives its slice, so per-node RNG streams are invariant
+    // under the shard count.
+    Rng seeder(config_.seed);
+    std::vector<std::uint64_t> seeds;
+    seeds.reserve(static_cast<std::size_t>(config_.nodes));
+    for (int n = 0; n < config_.nodes; ++n)
+        seeds.push_back(seeder.next());
+
+    // Contiguous near-equal slices: base nodes each, the remainder
+    // spread over the leading shards.
+    const int base = config_.nodes / federation_.shards;
+    const int rem = config_.nodes % federation_.shards;
+    int begin = 0;
+    for (int s = 0; s < federation_.shards; ++s) {
+        auto shard = std::make_unique<Shard>();
+        shard->index = s;
+        shard->nodeBegin = begin;
+        shard->nodeCount = base + (s < rem ? 1 : 0);
+        begin += shard->nodeCount;
+        startShard(*shard);
+        shards_.push_back(std::move(shard));
+    }
+    cmpqos_assert(begin == config_.nodes, "shard slices must cover all nodes");
+
+    for (auto &shard : shards_) {
+        FedInit init;
+        init.shardIndex = static_cast<std::uint32_t>(shard->index);
+        init.shardCount =
+            static_cast<std::uint32_t>(federation_.shards);
+        init.nodeBegin = shard->nodeBegin;
+        init.nodeCount = shard->nodeCount;
+        init.totalNodes = config_.nodes;
+        init.quantum = config_.quantum;
+        init.threads = resolvedThreads_;
+        init.telemetry = config_.telemetry != nullptr ? 1 : 0;
+        init.ringCapacity = federation_.telemetryRing;
+        init.checkInvariants = config_.checkInvariants ? 1 : 0;
+        init.nodeSeeds.assign(
+            seeds.begin() + shard->nodeBegin,
+            seeds.begin() + shard->nodeBegin + shard->nodeCount);
+        sendPlain(*shard, init);
+    }
+    for (auto &shard : shards_) {
+        const FedReady ready = expect<FedReady>(*shard);
+        cmpqos_assert(ready.shardIndex ==
+                          static_cast<std::uint32_t>(shard->index),
+                      "shard %d acknowledged as %u", shard->index,
+                      ready.shardIndex);
+    }
+}
+
+FederatedEngine::~FederatedEngine()
+{
+    driver_.grant();
+    for (auto &shard : shards_) {
+        if (shard->link != nullptr) {
+            sendPlain(*shard, FedShutdown{});
+            shard->link->close();
+        }
+        if (shard->server.joinable())
+            shard->server.join();
+        if (shard->pid > 0) {
+            int status = 0;
+            ::waitpid(shard->pid, &status, 0);
+        }
+    }
+}
+
+void
+FederatedEngine::startShard(Shard &shard)
+{
+    const bool spawn = federation_.transport == FedTransport::Uds &&
+                       !federation_.shardBinary.empty();
+    if (spawn) {
+        int fds[2];
+        const int rc = ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds);
+        cmpqos_assert(rc == 0, "socketpair: %s", std::strerror(errno));
+        const pid_t pid = ::fork();
+        cmpqos_assert(pid >= 0, "fork: %s", std::strerror(errno));
+        if (pid == 0) {
+            // Child: become the shard worker on its end of the pair.
+            ::close(fds[0]);
+            const std::string fd_arg = std::to_string(fds[1]);
+            const std::string shard_arg = std::to_string(shard.index);
+            ::execl(federation_.shardBinary.c_str(),
+                    federation_.shardBinary.c_str(), "--fd",
+                    fd_arg.c_str(), "--shard", shard_arg.c_str(),
+                    static_cast<char *>(nullptr));
+            // exec only returns on failure; the coordinator sees the
+            // closed socket and aborts with a useful message.
+            _exit(127);
+        }
+        ::close(fds[1]);
+        shard.pid = pid;
+        shard.link =
+            std::make_unique<UdsLink>(fds[0], federation_.maxFrame);
+        return;
+    }
+
+    auto pair = federation_.transport == FedTransport::Uds
+                    ? makeSocketLinkPair(federation_.maxFrame)
+                    : makeInprocLinkPair();
+    shard.link = std::move(pair.first);
+    // In-process backend: the controller serves on its own thread.
+    // The shared_ptr-free handoff is safe because Shard outlives the
+    // thread (the destructor joins before releasing anything).
+    std::unique_ptr<Link> peer = std::move(pair.second);
+    shard.server = std::thread(
+        [controller = &shard.controller, error = &shard.serveError,
+         link = std::shared_ptr<Link>(std::move(peer))]() {
+            std::string err;
+            if (!controller->serve(*link, err))
+                *error = err;
+            link->close();
+        });
+}
+
+void
+FederatedEngine::sendPlain(Shard &shard, const FedMessage &msg)
+{
+    if (shard.link == nullptr)
+        return;
+    shard.link->send(encodeFedPayload(++shard.txSeq, msg));
+}
+
+void
+FederatedEngine::sendFaulted(Shard &shard, const FedMessage &msg,
+                             Cycle t)
+{
+    const std::string payload = encodeFedPayload(++shard.txSeq, msg);
+    if (injector_ != nullptr) {
+        if (injector_->linkDropped(shard.index, t)) {
+            // The first transmission is lost; the coordinator's
+            // reliable-delivery discipline retransmits (the send
+            // below), so the fault costs a tally, never a command.
+            ++faults_.linkDrops;
+        }
+        if (injector_->linkDuplicated(shard.index, t)) {
+            // Double delivery, same sequence number: the shard's
+            // dedup absorbs the second copy.
+            ++faults_.linkDups;
+            shard.link->send(payload);
+        }
+        faults_.linkDelayCycles +=
+            injector_->linkDelayCycles(shard.index, t);
+    }
+    const bool ok = shard.link->send(payload);
+    cmpqos_assert(ok, "shard %d link send failed: %s", shard.index,
+                  shard.link->error().c_str());
+}
+
+FedMessage
+FederatedEngine::receive(Shard &shard)
+{
+    std::string payload;
+    if (!shard.link->recv(payload)) {
+        cmpqos_panic("shard %d link lost: %s%s", shard.index,
+                     shard.link->error().empty()
+                         ? "peer closed"
+                         : shard.link->error().c_str(),
+                     shard.serveError.empty()
+                         ? ""
+                         : (" / " + shard.serveError).c_str());
+    }
+    std::uint64_t seq = 0;
+    FedMessage msg;
+    std::string error;
+    if (!decodeFedPayload(payload, seq, msg, error))
+        cmpqos_panic("shard %d sent a bad frame: %s", shard.index,
+                     error.c_str());
+    cmpqos_assert(seq > shard.rxSeq,
+                  "shard %d replayed reply seq %llu", shard.index,
+                  static_cast<unsigned long long>(seq));
+    shard.rxSeq = seq;
+    if (const auto *err = std::get_if<FedError>(&msg))
+        cmpqos_panic("shard %d error: %s", shard.index,
+                     err->message.c_str());
+    return msg;
+}
+
+template <typename T>
+T
+FederatedEngine::expect(Shard &shard)
+{
+    FedMessage msg = receive(shard);
+    T *reply = std::get_if<T>(&msg);
+    if (reply == nullptr)
+        cmpqos_panic("shard %d: unexpected %s reply", shard.index,
+                     fedMessageName(msg));
+    return std::move(*reply);
+}
+
+bool
+FederatedEngine::partitioned(const Shard &shard, Cycle t) const
+{
+    return injector_ != nullptr &&
+           injector_->partitioned(shard.index, t);
+}
+
+FederatedEngine::Shard &
+FederatedEngine::shardOf(NodeId node)
+{
+    for (auto &shard : shards_)
+        if (node >= shard->nodeBegin &&
+            node < shard->nodeBegin + shard->nodeCount)
+            return *shard;
+    cmpqos_panic("node %d is on no shard", node);
+}
+
+void
+FederatedEngine::deliverBatch(Shard &shard, const std::string &events,
+                              std::uint64_t drops)
+{
+    if (config_.telemetry != nullptr && !events.empty()) {
+        cmpqos_assert(events.size() % sizeof(TraceEvent) == 0,
+                      "shard %d telemetry batch of %zu bytes is not "
+                      "a whole number of events",
+                      shard.index, events.size());
+        // Realign: string storage guarantees char alignment only.
+        std::vector<TraceEvent> batch(events.size() /
+                                      sizeof(TraceEvent));
+        std::memcpy(batch.data(), events.data(), events.size());
+        config_.telemetry->deliverExternal(batch.data(), batch.size());
+    }
+    if (config_.telemetry != nullptr && drops > shard.drops)
+        config_.telemetry->noteExternalDrops(drops - shard.drops);
+    shard.drops = std::max(shard.drops, drops);
+}
+
+NodeId
+FederatedEngine::choose(const JobRequest &request,
+                        InstCount instructions, Cycle t,
+                        bool probe_faults)
+{
+    // Probe-gather: every reachable shard probes its slice; replies
+    // concatenated in shard order ARE global node order, so the
+    // policy scan below is the single-process engine's node loop.
+    const WireJobRequest wire = toWireRequest(request, instructions);
+    lastProbes_.clear();
+    for (auto &shard : shards_) {
+        if (partitioned(*shard, t))
+            continue; // unreachable slice: its nodes cannot bid
+        sendFaulted(*shard, FedProbe{wire}, t);
+    }
+    for (auto &shard : shards_) {
+        if (partitioned(*shard, t))
+            continue;
+        FedProbeReply reply = expect<FedProbeReply>(*shard);
+        lastProbes_.insert(lastProbes_.end(), reply.probes.begin(),
+                           reply.probes.end());
+    }
+
+    NodeId best = -1;
+    Cycle best_slot = maxCycle;
+    std::uint64_t best_load = 0;
+    unsigned best_ways = 0;
+    for (const WireProbe &p : lastProbes_) {
+        if (p.alive == 0)
+            continue;
+        if (probe_faults &&
+            probeSkip_[static_cast<std::size_t>(p.node)])
+            continue;
+        if (p.accepted == 0)
+            continue;
+        switch (config_.policy) {
+          case GacPolicy::FirstFit:
+            return p.node;
+          case GacPolicy::EarliestSlot:
+            if (best < 0 || p.slotStart < best_slot) {
+                best = p.node;
+                best_slot = p.slotStart;
+            }
+            break;
+          case GacPolicy::LeastLoaded:
+            if (best < 0 || p.load < best_load ||
+                (p.load == best_load && p.ways < best_ways)) {
+                best = p.node;
+                best_load = p.load;
+                best_ways = p.ways;
+            }
+            break;
+        }
+    }
+    return best;
+}
+
+void
+FederatedEngine::refreshProbeFaults(Cycle t)
+{
+    if (injector_ == nullptr || !injector_->anyWindows())
+        return;
+    const bool tracing =
+        driverTrace_ != nullptr && driverTrace_->active();
+    for (NodeId n = 0; n < config_.nodes; ++n) {
+        const auto i = static_cast<std::size_t>(n);
+        probeSkip_[i] = 0;
+        if (!alive_[i])
+            continue;
+        if (injector_->probeDropped(n, t)) {
+            probeSkip_[i] = 1;
+            ++faults_.probesDropped;
+            if (tracing) {
+                TraceEvent e =
+                    traceEvent(TraceEventType::ProbeDropped, t);
+                e.a = static_cast<std::uint64_t>(n);
+                driverTrace_->emit(e);
+            }
+            continue;
+        }
+        const unsigned failures = injector_->probeTimeoutFailures(n, t);
+        if (failures == 0)
+            continue;
+        const bool abandoned = failures > config_.probeRetry.maxRetries;
+        if (abandoned) {
+            probeSkip_[i] = 1;
+            ++faults_.probeTimeouts;
+        } else {
+            faults_.probeRetries += failures;
+            faults_.backoffCycles +=
+                config_.probeRetry.totalBackoff(failures);
+        }
+        if (tracing) {
+            TraceEvent e = traceEvent(TraceEventType::ProbeTimeout, t);
+            e.a = static_cast<std::uint64_t>(n);
+            e.b = failures;
+            e.setName(abandoned ? "abandoned" : "recovered");
+            driverTrace_->emit(e);
+        }
+    }
+}
+
+FederatedEngine::Placement
+FederatedEngine::place(const ClusterArrival &arrival)
+{
+    const auto seq = static_cast<JobId>(submitted_);
+    ++submitted_;
+    const bool tracing =
+        driverTrace_ != nullptr && driverTrace_->active();
+    if (tracing) {
+        TraceEvent e = traceEvent(TraceEventType::JobSubmitted,
+                                  arrival.time, seq);
+        e.a = static_cast<std::uint64_t>(arrival.tier);
+        e.b = arrival.instructions;
+        e.x = arrival.request.deadlineFactor;
+        e.setName(arrival.request.benchmark);
+        driverTrace_->emit(e);
+    }
+    refreshProbeFaults(arrival.time);
+    Placement p;
+    JobRequest request = arrival.request;
+    NodeId target =
+        choose(request, arrival.instructions, arrival.time, true);
+
+    if (target < 0 && config_.negotiate) {
+        const double base = request.deadlineFactor;
+        for (double f = 1.0 + config_.negotiateStep;
+             f <= config_.negotiateMaxFactor + 1e-9;
+             f += config_.negotiateStep) {
+            request.deadlineFactor = base * f;
+            target = choose(request, arrival.instructions, arrival.time,
+                            true);
+            if (target >= 0) {
+                p.negotiated = true;
+                break;
+            }
+        }
+    }
+
+    if (target < 0) {
+        ++rejected_;
+        if (tracing) {
+            TraceEvent e = traceEvent(TraceEventType::JobRejected,
+                                      arrival.time, seq);
+            e.setName("no node accepted");
+            driverTrace_->emit(e);
+        }
+        if (config_.observer != nullptr) {
+            PlacementOutcome o;
+            o.seq = static_cast<std::uint64_t>(seq);
+            o.deadlineFactor = arrival.request.deadlineFactor;
+            config_.observer->onPlacement(arrival, o);
+        }
+        return p;
+    }
+
+    Cycle observed_slot = 0;
+    if (config_.observer != nullptr) {
+        // The selecting probe round already carries the reserved slot
+        // the reply will advertise (probe() is side-effect-free, so
+        // it equals the single-process engine's confirmation probe —
+        // without an extra message).
+        for (const WireProbe &probe : lastProbes_)
+            if (probe.node == target) {
+                observed_slot = probe.slotStart;
+                break;
+            }
+    }
+
+    Shard &owner = shardOf(target);
+    sendFaulted(owner,
+                FedSubmit{target, toWireRequest(request,
+                                                arrival.instructions)},
+                arrival.time);
+    const FedSubmitAck ack = expect<FedSubmitAck>(owner);
+    if (ack.ok == 0)
+        cmpqos_panic("probe/submit disagreement on node %d", target);
+    ++accepted_;
+    if (p.negotiated)
+        ++negotiated_;
+    ++acceptedByTier_[static_cast<std::size_t>(arrival.tier)];
+    p.accepted = true;
+    p.node = target;
+    if (injector_ != nullptr) {
+        const bool fresh =
+            committedSeqs_.insert(static_cast<std::uint64_t>(seq))
+                .second;
+        cmpqos_assert(fresh, "arrival %d committed twice", seq);
+        if (injector_->duplicateReply(target, arrival.time)) {
+            const bool dup =
+                committedSeqs_.insert(static_cast<std::uint64_t>(seq))
+                    .second;
+            cmpqos_assert(!dup,
+                          "duplicate reply slipped past the dedup");
+            ++faults_.duplicateReplies;
+            if (tracing) {
+                TraceEvent e = traceEvent(
+                    TraceEventType::DuplicateReplyDropped,
+                    arrival.time, seq);
+                e.a = static_cast<std::uint64_t>(target);
+                driverTrace_->emit(e);
+            }
+        }
+    }
+    if (tracing) {
+        if (p.negotiated) {
+            TraceEvent n = traceEvent(TraceEventType::JobNegotiated,
+                                      arrival.time, seq);
+            n.a = static_cast<std::uint64_t>(target);
+            n.x = request.deadlineFactor /
+                  arrival.request.deadlineFactor;
+            n.setName(arrival.request.benchmark);
+            driverTrace_->emit(n);
+        }
+        TraceEvent e = traceEvent(TraceEventType::ArrivalPlaced,
+                                  arrival.time, seq);
+        e.a = static_cast<std::uint64_t>(target);
+        e.b = static_cast<std::uint64_t>(ack.jobId);
+        driverTrace_->emit(e);
+    }
+    if (config_.observer != nullptr) {
+        PlacementOutcome o;
+        o.seq = static_cast<std::uint64_t>(seq);
+        o.accepted = true;
+        o.negotiated = p.negotiated;
+        o.node = target;
+        o.slotStart = observed_slot;
+        o.deadlineFactor = request.deadlineFactor;
+        config_.observer->onPlacement(arrival, o);
+    }
+    return p;
+}
+
+void
+FederatedEngine::relocate(NodeId origin,
+                          const NodeWorker::LostJob &lost, Cycle t)
+{
+    const bool tracing =
+        driverTrace_ != nullptr && driverTrace_->active();
+    JobRequest request = lost.request;
+    NodeId target = choose(request, lost.instructions, t, false);
+    bool negotiated = false;
+    bool downgraded = false;
+    if (target < 0 && config_.negotiate &&
+        lost.mode != ExecutionMode::Opportunistic) {
+        const double base = request.deadlineFactor;
+        for (double f = 1.0 + config_.negotiateStep;
+             f <= config_.negotiateMaxFactor + 1e-9;
+             f += config_.negotiateStep) {
+            request.deadlineFactor = base * f;
+            target = choose(request, lost.instructions, t, false);
+            if (target >= 0) {
+                negotiated = true;
+                break;
+            }
+        }
+    }
+    if (target < 0 && lost.mode == ExecutionMode::Elastic) {
+        JobRequest fallback = lost.request;
+        fallback.mode = ModeSpec::opportunistic();
+        target = choose(fallback, lost.instructions, t, false);
+        if (target >= 0) {
+            request = fallback;
+            downgraded = true;
+        }
+    }
+    if (target < 0) {
+        ++faults_.relocationRejected;
+        // The failure is counted on the origin node (per-node failed
+        // tallies feed failedJobs and the fingerprint), which lives
+        // on a shard.
+        Shard &origin_shard = shardOf(origin);
+        sendFaulted(origin_shard, FedRelocFail{origin}, t);
+        expect<FedRelocFailAck>(origin_shard);
+        if (tracing) {
+            TraceEvent e = traceEvent(TraceEventType::JobFailed, t,
+                                      lost.localJob);
+            e.a = static_cast<std::uint64_t>(origin);
+            e.b = static_cast<std::uint64_t>(lost.localJob);
+            e.setName("relocation-failed");
+            driverTrace_->emit(e);
+        }
+        return;
+    }
+    Shard &owner = shardOf(target);
+    sendFaulted(owner,
+                FedSubmit{target,
+                          toWireRequest(request, lost.instructions)},
+                t);
+    const FedSubmitAck ack = expect<FedSubmitAck>(owner);
+    if (ack.ok == 0)
+        cmpqos_panic("relocation probe/submit disagreement on node %d",
+                     target);
+    if (downgraded)
+        ++faults_.relocationDowngraded;
+    else
+        ++faults_.relocated;
+    if (tracing) {
+        TraceEvent e =
+            traceEvent(TraceEventType::JobRelocated, t, lost.localJob);
+        e.a = static_cast<std::uint64_t>(origin);
+        e.b = static_cast<std::uint64_t>(target);
+        e.setName(downgraded    ? "downgraded"
+                  : negotiated ? "renegotiated"
+                               : "readmitted");
+        driverTrace_->emit(e);
+    }
+}
+
+void
+FederatedEngine::applyFaultActions(Cycle t)
+{
+    if (injector_ == nullptr)
+        return;
+    const bool tracing =
+        driverTrace_ != nullptr && driverTrace_->active();
+    for (const FaultAction &action : injector_->actionsDue(t)) {
+        const auto i = static_cast<std::size_t>(action.node);
+        Shard &owner = shardOf(action.node);
+        if (action.type == FaultType::NodeCrash) {
+            if (!alive_[i])
+                continue;
+            ++faults_.crashes;
+            alive_[i] = 0;
+            sendFaulted(owner, FedCrash{action.node}, t);
+            const FedCrashReport report = expect<FedCrashReport>(owner);
+            if (tracing) {
+                TraceEvent e =
+                    traceEvent(TraceEventType::NodeCrashed, t);
+                e.a = static_cast<std::uint64_t>(action.node);
+                e.b = action.quantum;
+                driverTrace_->emit(e);
+                for (const std::uint64_t j : report.failedRunning) {
+                    TraceEvent f =
+                        traceEvent(TraceEventType::JobFailed, t,
+                                   static_cast<JobId>(j));
+                    f.a = static_cast<std::uint64_t>(action.node);
+                    f.b = j;
+                    f.setName("node-crash");
+                    driverTrace_->emit(f);
+                }
+            }
+            for (const WireLostJob &wire : report.waiting) {
+                NodeWorker::LostJob lost;
+                lost.localJob = wire.localJob;
+                lost.mode =
+                    wire.mode <= 2
+                        ? static_cast<ExecutionMode>(wire.mode)
+                        : ExecutionMode::Strict;
+                lost.request =
+                    fromWireRequest(wire.request, lost.instructions);
+                relocate(action.node, lost, t);
+            }
+        } else {
+            if (alive_[i])
+                continue;
+            ++faults_.restarts;
+            alive_[i] = 1;
+            sendFaulted(owner, FedRestart{action.node, t}, t);
+            expect<FedRestartAck>(owner);
+            if (tracing) {
+                TraceEvent e =
+                    traceEvent(TraceEventType::NodeRestarted, t);
+                e.a = static_cast<std::uint64_t>(action.node);
+                e.b = action.quantum;
+                driverTrace_->emit(e);
+            }
+        }
+    }
+}
+
+void
+FederatedEngine::advanceAll(Cycle from, Cycle to)
+{
+    // Stalls are computed coordinator-side over the full node vector
+    // (the single-process engine's driver-side discipline), then
+    // sliced per shard.
+    const bool stalls_possible =
+        injector_ != nullptr && injector_->anyWindows();
+    std::vector<Cycle> stalls;
+    if (stalls_possible) {
+        stalls.assign(static_cast<std::size_t>(config_.nodes), 0);
+        for (int n = 0; n < config_.nodes; ++n) {
+            const auto i = static_cast<std::size_t>(n);
+            if (!alive_[i])
+                continue;
+            stalls[i] = injector_->stallCycles(n, from);
+            if (stalls[i] > 0)
+                ++faults_.stalledQuanta;
+        }
+    }
+
+    // Commit barrier: ship the advance to every reachable shard, then
+    // gather one FedQuantumDone per shard in shard order. A shard
+    // behind a partition window gets the advance deferred instead —
+    // flushed, still in order, when the window ends.
+    std::vector<char> sent(shards_.size(), 0);
+    for (auto &shard : shards_) {
+        FedAdvance adv;
+        adv.from = from;
+        adv.to = to;
+        if (stalls_possible)
+            adv.stalls.assign(
+                stalls.begin() + shard->nodeBegin,
+                stalls.begin() + shard->nodeBegin + shard->nodeCount);
+        adv.check = config_.checkInvariants ? 1 : 0;
+        if (partitioned(*shard, from)) {
+            ++faults_.partitionedQuanta;
+            shard->deferred.push_back(std::move(adv));
+            continue;
+        }
+        sendFaulted(*shard, adv, from);
+        sent[static_cast<std::size_t>(shard->index)] = 1;
+    }
+    // Driver ring first, then shard batches in shard order — the
+    // exact producer order a single-process drain delivers.
+    if (config_.telemetry != nullptr)
+        config_.telemetry->drain();
+    for (auto &shard : shards_) {
+        if (!sent[static_cast<std::size_t>(shard->index)])
+            continue;
+        const FedQuantumDone done = expect<FedQuantumDone>(*shard);
+        shard->checksRun = done.checksRun;
+        shard->violations = done.violations;
+        deliverBatch(*shard, done.events, done.drops);
+    }
+}
+
+void
+FederatedEngine::flushDeferred(Cycle t, bool force)
+{
+    for (auto &shard : shards_) {
+        if (shard->deferred.empty())
+            continue;
+        if (!force && partitioned(*shard, t))
+            continue;
+        // The partition healed (or the run is ending): replay the
+        // deferred barriers in order. Node state catches up exactly —
+        // advances commute with the wall-clock of other shards.
+        while (!shard->deferred.empty()) {
+            FedAdvance adv = std::move(shard->deferred.front());
+            shard->deferred.pop_front();
+            sendFaulted(*shard, adv, t);
+            const FedQuantumDone done = expect<FedQuantumDone>(*shard);
+            shard->checksRun = done.checksRun;
+            shard->violations = done.violations;
+            deliverBatch(*shard, done.events, done.drops);
+        }
+    }
+}
+
+void
+FederatedEngine::drainAllShards()
+{
+    for (auto &shard : shards_)
+        sendPlain(*shard, FedDrainReq{});
+    if (config_.telemetry != nullptr)
+        config_.telemetry->drain();
+    for (auto &shard : shards_) {
+        const FedDrainDone done = expect<FedDrainDone>(*shard);
+        shard->checksRun = done.checksRun;
+        shard->violations = done.violations;
+        deliverBatch(*shard, done.events, done.drops);
+    }
+}
+
+ClusterMetrics
+FederatedEngine::run(ArrivalProcess &arrivals, Cycle horizon,
+                     bool drain)
+{
+    // detlint:allow(wall-clock): measurement-only host wall time for
+    // the metrics snapshot; never feeds virtual time or placement.
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    std::optional<ClusterArrival> pending = arrivals.next();
+    Cycle t = 0;
+    while (t < horizon) {
+        flushDeferred(t, false);
+        applyFaultActions(t);
+
+        Cycle next_q = t + config_.quantum;
+        if (pending && pending->time >= next_q) {
+            const Cycle boundary =
+                pending->time - (pending->time % config_.quantum);
+            next_q = std::max(next_q, boundary);
+        }
+        if (injector_ != nullptr) {
+            const Cycle ev = injector_->nextEventTime(t);
+            if (ev < next_q) {
+                next_q = t + config_.quantum;
+            } else if (!pending && injector_->actionsPending() &&
+                       ev != maxCycle && ev > next_q) {
+                next_q = ev;
+            }
+        }
+        if (next_q > horizon)
+            next_q = horizon;
+
+        while (pending && pending->time < next_q) {
+            if (pending->time >= horizon)
+                break;
+            place(*pending);
+            pending = arrivals.next();
+        }
+
+        if (!pending && !drain)
+            break;
+        if (!pending && drain &&
+            !(injector_ != nullptr && injector_->actionsPending()))
+            break;
+        advanceAll(t, next_q);
+        t = next_q;
+        if (config_.observer != nullptr)
+            config_.observer->onQuantum(t);
+    }
+
+    // The run is ending: any partition still open heals now so no
+    // barrier is lost.
+    flushDeferred(t, true);
+    if (drain) {
+        drainAllShards();
+    } else {
+        advanceAll(t, horizon);
+        if (pending)
+            ++truncated_;
+    }
+    if (config_.observer != nullptr)
+        config_.observer->onQuantum(drain ? t : horizon);
+
+    // detlint:allow(wall-clock): measurement-only host wall time for
+    // the metrics snapshot; never feeds virtual time or placement.
+    const auto wall_end = std::chrono::steady_clock::now();
+    wallSeconds_ +=
+        std::chrono::duration<double>(wall_end - wall_start).count();
+    return snapshot();
+}
+
+ClusterMetrics
+FederatedEngine::runToCompletion(ArrivalProcess &arrivals)
+{
+    driver_.grant();
+    return run(arrivals, maxCycle, true);
+}
+
+ClusterMetrics
+FederatedEngine::runForDuration(ArrivalProcess &arrivals,
+                                Cycle duration)
+{
+    cmpqos_assert(duration > 0, "duration must be > 0");
+    driver_.grant();
+    return run(arrivals, duration, false);
+}
+
+ClusterMetrics
+FederatedEngine::snapshot()
+{
+    ClusterMetrics m;
+    m.seed = config_.seed;
+    m.threads = resolvedThreads_;
+    m.shards = numShards();
+    m.quantum = config_.quantum;
+    m.submitted = submitted_;
+    m.accepted = accepted_;
+    m.rejected = rejected_;
+    m.negotiated = negotiated_;
+    m.truncated = truncated_;
+    m.acceptedByTier = acceptedByTier_;
+    m.wallSeconds = wallSeconds_;
+    m.faults = faults_;
+    m.invariantViolations = invariantViolations();
+
+    std::vector<NodeMetrics> per_node;
+    per_node.reserve(static_cast<std::size_t>(config_.nodes));
+    for (auto &shard : shards_) {
+        sendPlain(*shard, FedSnapshotReq{});
+        const FedSnapshotReply reply = expect<FedSnapshotReply>(*shard);
+        cmpqos_assert(reply.nodes.size() ==
+                          static_cast<std::size_t>(shard->nodeCount),
+                      "shard %d snapshot covers %zu of %d nodes",
+                      shard->index, reply.nodes.size(),
+                      shard->nodeCount);
+        for (const WireNodeMetrics &w : reply.nodes) {
+            NodeMetrics nm;
+            nm.node = w.node;
+            nm.virtualTime = w.virtualTime;
+            nm.placed = w.placed;
+            nm.completed = w.completed;
+            nm.inFlight = w.inFlight;
+            nm.instructions = w.instructions;
+            nm.utilisation = w.utilisation;
+            nm.stolenWays = w.stolenWays;
+            nm.failed = w.failed;
+            nm.restarts = w.restarts;
+            nm.alive = w.alive != 0;
+            cmpqos_assert(w.modeTallies.size() ==
+                              nm.byMode.size() * 2,
+                          "shard %d node %d shipped %zu mode tallies",
+                          shard->index, w.node, w.modeTallies.size());
+            for (std::size_t i = 0; i < nm.byMode.size(); ++i) {
+                nm.byMode[i].completed = w.modeTallies[2 * i];
+                nm.byMode[i].deadlineHits = w.modeTallies[2 * i + 1];
+            }
+            per_node.push_back(nm);
+        }
+    }
+    MetricsExporter::aggregate(m, per_node);
+    return m;
+}
+
+std::uint64_t
+FederatedEngine::invariantChecksRun() const
+{
+    driver_.grant();
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard->checksRun;
+    return total;
+}
+
+std::uint64_t
+FederatedEngine::invariantViolations() const
+{
+    driver_.grant();
+    std::uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard->violations;
+    return total;
+}
+
+std::string
+FederatedEngine::invariantReport()
+{
+    driver_.grant();
+    std::string report;
+    for (auto &shard : shards_) {
+        sendPlain(*shard, FedInvariantReq{});
+        const FedInvariantReport reply =
+            expect<FedInvariantReport>(*shard);
+        shard->checksRun = reply.checksRun;
+        shard->violations = reply.violations;
+        report += reply.report;
+    }
+    return report;
+}
+
+} // namespace cmpqos

@@ -1,0 +1,350 @@
+#include "shard_controller.hh"
+
+#include <cstring>
+
+#include "cluster/metrics.hh"
+#include "common/logging.hh"
+#include "qos/admission.hh"
+
+namespace cmpqos
+{
+
+void
+ShardBufferSink::consume(const TraceEvent &e)
+{
+    TraceEvent out = e;
+    // Shard-local recorders stamp local producer indices; rebase to
+    // global node ids before the batch crosses the link. Driver-side
+    // events (node < 0) never occur on a shard.
+    if (out.node >= 0)
+        out.node = static_cast<std::int16_t>(out.node + nodeBegin_);
+    buffer_.append(reinterpret_cast<const char *>(&out), sizeof(out));
+}
+
+WireJobRequest
+toWireRequest(const JobRequest &request, InstCount instructions)
+{
+    WireJobRequest w;
+    w.benchmark = request.benchmark;
+    w.mode = static_cast<std::uint8_t>(request.mode.mode);
+    w.slack = request.mode.slack;
+    w.deadlineFactor = request.deadlineFactor;
+    w.cores = request.cores;
+    w.ways = request.ways;
+    w.bandwidthPercent = request.bandwidthPercent;
+    w.instructions = instructions;
+    return w;
+}
+
+JobRequest
+fromWireRequest(const WireJobRequest &w, InstCount &instructions)
+{
+    JobRequest r;
+    r.benchmark = w.benchmark;
+    // The decoder bounds field sizes, not semantics: an out-of-range
+    // mode byte falls back to Strict instead of invoking UB.
+    r.mode.mode = w.mode <= 2 ? static_cast<ExecutionMode>(w.mode)
+                              : ExecutionMode::Strict;
+    r.mode.slack = w.slack;
+    r.deadlineFactor = w.deadlineFactor;
+    r.cores = w.cores;
+    r.ways = w.ways;
+    r.bandwidthPercent = w.bandwidthPercent;
+    instructions = w.instructions;
+    return r;
+}
+
+bool
+ShardController::serve(Link &link, std::string &error)
+{
+    owner_.grant();
+    std::string payload;
+    for (;;) {
+        if (!link.recv(payload)) {
+            error = link.error();
+            return error.empty(); // clean close vs poisoned stream
+        }
+        std::uint64_t seq = 0;
+        FedMessage msg;
+        std::string decode_error;
+        if (!decodeFedPayload(payload, seq, msg, decode_error)) {
+            // Poisoned stream: report once, then tear the link down —
+            // resynchronising a corrupt frame boundary is hopeless.
+            link.send(encodeFedPayload(++txSeq_,
+                                       FedError{decode_error}));
+            error = decode_error;
+            return false;
+        }
+        if (seq <= lastRxSeq_)
+            continue; // duplicate delivery (link-dup): absorb silently
+        lastRxSeq_ = seq;
+
+        if (std::holds_alternative<FedShutdown>(msg))
+            return true;
+
+        const FedMessage reply = handle(msg);
+        if (!link.send(encodeFedPayload(++txSeq_, reply))) {
+            error = link.error();
+            return false;
+        }
+    }
+}
+
+FedMessage
+ShardController::handle(const FedMessage &msg)
+{
+    if (const auto *m = std::get_if<FedInit>(&msg))
+        return onInit(*m);
+    if (const auto *m = std::get_if<FedProbe>(&msg))
+        return onProbe(*m);
+    if (const auto *m = std::get_if<FedSubmit>(&msg))
+        return onSubmit(*m);
+    if (const auto *m = std::get_if<FedCrash>(&msg))
+        return onCrash(*m);
+    if (const auto *m = std::get_if<FedRestart>(&msg))
+        return onRestart(*m);
+    if (const auto *m = std::get_if<FedAdvance>(&msg))
+        return onAdvance(*m);
+    if (const auto *m = std::get_if<FedRelocFail>(&msg)) {
+        local(m->node).recordRelocationFailure();
+        return FedRelocFailAck{m->node};
+    }
+    if (std::holds_alternative<FedDrainReq>(msg))
+        return onDrain();
+    if (std::holds_alternative<FedSnapshotReq>(msg))
+        return onSnapshot();
+    if (std::holds_alternative<FedInvariantReq>(msg))
+        return onInvariant();
+    return FedError{std::string("unexpected message: ") +
+                    fedMessageName(msg)};
+}
+
+FedMessage
+ShardController::onInit(const FedInit &m)
+{
+    if (m.nodeCount <= 0 ||
+        m.nodeSeeds.size() != static_cast<std::size_t>(m.nodeCount))
+        return FedError{"malformed init: node count / seed mismatch"};
+
+    shardIndex_ = m.shardIndex;
+    nodeBegin_ = m.nodeBegin;
+    pool_ = std::make_unique<ThreadPool>(m.threads > 0 ? m.threads : 1);
+
+    nodes_.clear();
+    collector_.reset();
+    buffer_.reset();
+    checker_.reset();
+
+    if (m.telemetry != 0) {
+        TelemetryConfig tc;
+        if (m.ringCapacity > 0)
+            tc.ringCapacity = m.ringCapacity;
+        collector_ = std::make_unique<TraceCollector>(m.nodeCount + 1,
+                                                      tc);
+        buffer_ = std::make_unique<ShardBufferSink>(
+            static_cast<std::int16_t>(m.nodeBegin));
+        collector_->addSink(buffer_.get());
+    }
+    if (m.checkInvariants != 0)
+        checker_ = std::make_unique<InvariantChecker>();
+
+    // Node ids and seeds are global: the coordinator derives every
+    // node's seed from the cluster seed and ships this shard's slice,
+    // so each node's RNG stream is identical at any shard count.
+    FrameworkConfig node_config;
+    nodes_.reserve(static_cast<std::size_t>(m.nodeCount));
+    for (std::int32_t local = 0; local < m.nodeCount; ++local) {
+        auto worker = std::make_unique<NodeWorker>(
+            m.nodeBegin + local, node_config,
+            m.nodeSeeds[static_cast<std::size_t>(local)]);
+        if (collector_ != nullptr)
+            worker->setTrace(collector_->nodeRecorder(local));
+        nodes_.push_back(std::move(worker));
+    }
+    return FedReady{m.shardIndex};
+}
+
+FedMessage
+ShardController::onProbe(const FedProbe &m)
+{
+    InstCount instructions = 0;
+    const JobRequest request = fromWireRequest(m.request, instructions);
+    FedProbeReply reply;
+    reply.probes.reserve(nodes_.size());
+    for (const auto &node : nodes_) {
+        WireProbe p;
+        p.node = node->id();
+        p.alive = node->alive() ? 1 : 0;
+        if (node->alive()) {
+            const AdmissionDecision d =
+                node->probe(request, instructions);
+            p.accepted = d.accepted ? 1 : 0;
+            p.slotStart = d.slotStart;
+            p.load = node->inFlight();
+            p.ways = node->framework()
+                         .lac()
+                         .timeline()
+                         .reservedAt(node->virtualNow())
+                         .ways;
+        }
+        reply.probes.push_back(p);
+    }
+    return reply;
+}
+
+FedMessage
+ShardController::onSubmit(const FedSubmit &m)
+{
+    InstCount instructions = 0;
+    const JobRequest request = fromWireRequest(m.request, instructions);
+    Job *job = local(m.node).submit(request, instructions);
+    FedSubmitAck ack;
+    ack.node = m.node;
+    ack.jobId = job != nullptr ? job->id() : invalidJob;
+    ack.ok = job != nullptr ? 1 : 0;
+    return ack;
+}
+
+FedMessage
+ShardController::onCrash(const FedCrash &m)
+{
+    const NodeWorker::CrashReport report = local(m.node).crash();
+    FedCrashReport r;
+    r.node = m.node;
+    r.failedRunning.reserve(report.failedRunning.size());
+    for (const JobId id : report.failedRunning)
+        r.failedRunning.push_back(static_cast<std::uint64_t>(id));
+    r.waiting.reserve(report.waiting.size());
+    for (const NodeWorker::LostJob &lost : report.waiting) {
+        WireLostJob w;
+        w.localJob = lost.localJob;
+        w.mode = static_cast<std::uint8_t>(lost.mode);
+        w.request = toWireRequest(lost.request, lost.instructions);
+        r.waiting.push_back(std::move(w));
+    }
+    return r;
+}
+
+FedMessage
+ShardController::onRestart(const FedRestart &m)
+{
+    local(m.node).restart(m.now);
+    return FedRestartAck{m.node};
+}
+
+FedMessage
+ShardController::onAdvance(const FedAdvance &m)
+{
+    if (!m.stalls.empty() && m.stalls.size() != nodes_.size())
+        return FedError{"advance stall vector size mismatch"};
+
+    pool_->parallelFor(nodes_.size(), [this, &m](std::size_t i) {
+        NodeWorker &node = *nodes_[i];
+        if (!node.alive())
+            return;
+        node.advanceTo(m.to, m.stalls.empty() ? 0 : m.stalls[i]);
+    });
+
+    // Commit barrier: every local node is quiescent. Drain telemetry
+    // into the shipping buffer and run the oracle, exactly as the
+    // single-process engine does at its quantum barrier.
+    if (collector_ != nullptr)
+        collector_->drain();
+    if (m.check != 0)
+        checkAlive();
+
+    FedQuantumDone done;
+    done.to = m.to;
+    done.checksRun = checker_ != nullptr ? checker_->checksRun() : 0;
+    done.violations =
+        checker_ != nullptr ? checker_->totalViolations() : 0;
+    if (buffer_ != nullptr)
+        done.events = buffer_->take();
+    done.drops = collector_ != nullptr ? collector_->totalDrops() : 0;
+    return done;
+}
+
+FedMessage
+ShardController::onDrain()
+{
+    pool_->parallelFor(nodes_.size(), [this](std::size_t i) {
+        nodes_[i]->drain();
+    });
+    if (collector_ != nullptr)
+        collector_->drain();
+    if (checker_ != nullptr)
+        checkAlive();
+
+    FedDrainDone done;
+    done.checksRun = checker_ != nullptr ? checker_->checksRun() : 0;
+    done.violations =
+        checker_ != nullptr ? checker_->totalViolations() : 0;
+    if (buffer_ != nullptr)
+        done.events = buffer_->take();
+    done.drops = collector_ != nullptr ? collector_->totalDrops() : 0;
+    return done;
+}
+
+FedMessage
+ShardController::onSnapshot()
+{
+    FedSnapshotReply reply;
+    reply.nodes.reserve(nodes_.size());
+    for (const auto &node : nodes_) {
+        const NodeMetrics nm = MetricsExporter::collectNode(*node);
+        WireNodeMetrics w;
+        w.node = nm.node;
+        w.virtualTime = nm.virtualTime;
+        w.placed = nm.placed;
+        w.completed = nm.completed;
+        w.inFlight = nm.inFlight;
+        w.instructions = nm.instructions;
+        w.utilisation = nm.utilisation;
+        w.stolenWays = nm.stolenWays;
+        w.failed = nm.failed;
+        w.restarts = nm.restarts;
+        w.alive = nm.alive ? 1 : 0;
+        w.modeTallies.reserve(nm.byMode.size() * 2);
+        for (const ModeTally &tally : nm.byMode) {
+            w.modeTallies.push_back(tally.completed);
+            w.modeTallies.push_back(tally.deadlineHits);
+        }
+        reply.nodes.push_back(std::move(w));
+    }
+    return reply;
+}
+
+FedMessage
+ShardController::onInvariant()
+{
+    FedInvariantReport report;
+    if (checker_ != nullptr) {
+        report.checksRun = checker_->checksRun();
+        report.violations = checker_->totalViolations();
+        report.report = checker_->report();
+    }
+    return report;
+}
+
+NodeWorker &
+ShardController::local(std::int32_t global)
+{
+    const std::int32_t index = global - nodeBegin_;
+    cmpqos_assert(index >= 0 &&
+                      index < static_cast<std::int32_t>(nodes_.size()),
+                  "node %d is not on shard %u", global, shardIndex_);
+    return *nodes_[static_cast<std::size_t>(index)];
+}
+
+void
+ShardController::checkAlive()
+{
+    if (checker_ == nullptr)
+        return;
+    for (const auto &node : nodes_)
+        if (node->alive())
+            checker_->checkNode(node->id(), node->framework(),
+                                node->virtualNow());
+}
+
+} // namespace cmpqos

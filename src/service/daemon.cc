@@ -342,10 +342,25 @@ QosDaemon::engineMain()
         cluster.telemetry = &collector;
         Observer observer(*this, sink, epoch);
         cluster.observer = &observer;
-        ClusterEngine engine(cluster);
-        const ClusterMetrics m = engine.runToCompletion(*queue);
-        collector.finish(cfg.seed, engine.numThreads(),
-                         m.wallSeconds);
+        // Shard count, like thread count, must never affect results:
+        // the drained fingerprint and the journal replay are
+        // byte-identical either way (tested in test_daemon.cc).
+        ClusterMetrics m;
+        unsigned run_threads = 0;
+        if (opts_.shards > 1) {
+            FederationConfig fed;
+            fed.shards = opts_.shards;
+            fed.transport = opts_.shardTransport;
+            fed.telemetryRing = opts_.traceCapacity;
+            FederatedEngine engine(cluster, fed);
+            m = engine.runToCompletion(*queue);
+            run_threads = engine.numThreads();
+        } else {
+            ClusterEngine engine(cluster);
+            m = engine.runToCompletion(*queue);
+            run_threads = engine.numThreads();
+        }
+        collector.finish(cfg.seed, run_threads, m.wallSeconds);
         if (m.invariantViolations != 0)
             cmpqos_warn("epoch %llu: %llu invariant violations",
                         static_cast<unsigned long long>(epoch),

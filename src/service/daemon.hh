@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "common/annotations.hh"
+#include "federation/federated_engine.hh"
 #include "service/arrival_queue.hh"
 #include "service/epoch_config.hh"
 #include "service/journal.hh"
@@ -63,6 +64,13 @@ class QosDaemon
         int tcpPort = 0;
         /** Engine worker threads (0 = hardware concurrency). */
         unsigned threads = 0;
+        /** Engine shards; >1 runs each epoch on a FederatedEngine.
+         *  Like threads, deliberately NOT part of EpochConfig: the
+         *  journal, replay command and fingerprint are identical at
+         *  any shard count. */
+        int shards = 1;
+        /** Shard link transport when shards > 1. */
+        FedTransport shardTransport = FedTransport::Inproc;
         /** Per-connection frame/line size ceiling, bytes. */
         std::size_t maxFrame = defaultMaxFrame;
         /** Directory journals are written into (created if absent);

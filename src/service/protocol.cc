@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/logging.hh"
+#include "common/wire_codec.hh"
 #include "telemetry/sink.hh" // escapeJson
 
 namespace cmpqos
@@ -143,117 +144,10 @@ static_assert(std::variant_size_v<Message> ==
               "every Message alternative needs a TypeRow");
 
 // --- binary writer / reader ----------------------------------------
-
-struct BinWriter
-{
-    std::string out;
-
-    void push16(std::uint16_t v)
-    {
-        out.push_back(static_cast<char>(v & 0xff));
-        out.push_back(static_cast<char>((v >> 8) & 0xff));
-    }
-    void push32(std::uint32_t v)
-    {
-        for (int i = 0; i < 4; ++i)
-            out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-    }
-    void push64(std::uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i)
-            out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-    }
-
-    void u8(const char *, std::uint8_t v)
-    {
-        out.push_back(static_cast<char>(v));
-    }
-    void u32(const char *, std::uint32_t v) { push32(v); }
-    void u64(const char *, std::uint64_t v) { push64(v); }
-    void i32(const char *, std::int32_t v)
-    {
-        push32(static_cast<std::uint32_t>(v));
-    }
-    void f64(const char *, double v)
-    {
-        push64(std::bit_cast<std::uint64_t>(v));
-    }
-    void str(const char *name, const std::string &s)
-    {
-        cmpqos_assert(s.size() <= 0xffff,
-                      "wire string '%s' too long (%zu bytes)", name,
-                      s.size());
-        push16(static_cast<std::uint16_t>(s.size()));
-        out.append(s);
-    }
-};
-
-struct BinReader
-{
-    std::string_view in;
-    std::size_t pos = 0;
-    bool ok = true;
-    std::string err;
-
-    bool need(std::size_t n, const char *name)
-    {
-        if (!ok)
-            return false;
-        if (in.size() - pos < n) {
-            ok = false;
-            err = std::string("truncated field '") + name + "'";
-            return false;
-        }
-        return true;
-    }
-    std::uint64_t take(std::size_t n)
-    {
-        std::uint64_t v = 0;
-        for (std::size_t i = 0; i < n; ++i)
-            v |= static_cast<std::uint64_t>(
-                     static_cast<unsigned char>(in[pos + i]))
-                 << (8 * i);
-        pos += n;
-        return v;
-    }
-
-    void u8(const char *name, std::uint8_t &v)
-    {
-        if (need(1, name))
-            v = static_cast<std::uint8_t>(take(1));
-    }
-    void u32(const char *name, std::uint32_t &v)
-    {
-        if (need(4, name))
-            v = static_cast<std::uint32_t>(take(4));
-    }
-    void u64(const char *name, std::uint64_t &v)
-    {
-        if (need(8, name))
-            v = take(8);
-    }
-    void i32(const char *name, std::int32_t &v)
-    {
-        if (need(4, name))
-            v = static_cast<std::int32_t>(
-                static_cast<std::uint32_t>(take(4)));
-    }
-    void f64(const char *name, double &v)
-    {
-        if (need(8, name))
-            v = std::bit_cast<double>(take(8));
-    }
-    void str(const char *name, std::string &v)
-    {
-        if (!need(2, name))
-            return;
-        const auto len = static_cast<std::size_t>(take(2));
-        if (!need(len, name))
-            return;
-        v.assign(in.substr(pos, len));
-        pos += len;
-    }
-};
+//
+// The binary field visitors moved to common/wire_codec.hh so the
+// federation shard protocol shares them; this file keeps the JSONL
+// visitors (only the service protocol has a text mode).
 
 // --- minimal JSON value / parser -----------------------------------
 //

@@ -52,6 +52,21 @@ TraceCollector::drain()
 }
 
 void
+TraceCollector::deliverExternal(const TraceEvent *events,
+                                std::size_t count)
+{
+    // Same barrier protocol as drain(): the driver thread replays a
+    // shard's already-drained batch, so ordering is whatever the
+    // caller establishes (shard order at a quantum barrier).
+    consumer_.grant();
+    for (std::size_t i = 0; i < count; ++i) {
+        for (TraceSink *sink : sinks_)
+            sink->consume(events[i]);
+    }
+    delivered_ += count;
+}
+
+void
 TraceCollector::finish(std::uint64_t seed, unsigned threads,
                        double wall_seconds)
 {
@@ -63,7 +78,7 @@ TraceCollector::finish(std::uint64_t seed, unsigned threads,
     meta.seed = seed;
     meta.nodes = producers() - 1;
     meta.threads = threads;
-    meta.drops = totalDrops();
+    meta.drops = totalDrops() + externalDrops_;
     meta.events = delivered_;
     meta.wallSeconds = wall_seconds;
     for (TraceSink *sink : sinks_)

@@ -82,6 +82,25 @@ class TraceCollector
     std::size_t drain();
 
     /**
+     * Deliver an externally-captured event batch straight to the
+     * sinks (federation: shard controllers drain their own rings at
+     * the quantum barrier and ship the batch to the coordinator,
+     * which replays it here in shard order — preserving the exact
+     * producer-order stream a single-process run would deliver).
+     * Driver/consumer thread only, at a quantum barrier.
+     */
+    void deliverExternal(const TraceEvent *events, std::size_t count);
+
+    /** Fold ring-full drop counts reported by external (shard-side)
+     *  collectors into this capture's meta totals. */
+    void
+    noteExternalDrops(std::uint64_t drops)
+    {
+        consumer_.grant();
+        externalDrops_ += drops;
+    }
+
+    /**
      * Final drain + close every sink with host-side metadata.
      * @param seed @param threads @param wall_seconds run identity
      *        for the meta record (never on event lines).
@@ -113,6 +132,7 @@ class TraceCollector
     std::vector<std::unique_ptr<TraceRecorder>> recorders_;
     std::vector<TraceSink *> sinks_ CMPQOS_GUARDED_BY(consumer_);
     std::uint64_t delivered_ CMPQOS_GUARDED_BY(consumer_) = 0;
+    std::uint64_t externalDrops_ CMPQOS_GUARDED_BY(consumer_) = 0;
     bool finished_ CMPQOS_GUARDED_BY(consumer_) = false;
 };
 

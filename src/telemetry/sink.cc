@@ -98,12 +98,14 @@ escapeJson(std::string_view s)
 JsonlTraceSink::JsonlTraceSink(std::ostream &os) : os_(os) {}
 
 std::string
-JsonlTraceSink::formatLine(const TraceEvent &e)
+JsonlTraceSink::formatLine(const TraceEvent &e, int shard)
 {
     std::string line = "{\"ev\":\"";
     line += traceEventName(e.type);
     line += "\",\"t\":" + std::to_string(e.time);
     line += ",\"node\":" + std::to_string(e.node);
+    if (shard >= 0)
+        line += ",\"shard\":" + std::to_string(shard);
     line += ",\"job\":" + std::to_string(e.job);
     const TracePayloadKeys &k = payloadKeys(e.type);
     if (k.a != nullptr)
@@ -122,7 +124,11 @@ JsonlTraceSink::formatLine(const TraceEvent &e)
 void
 JsonlTraceSink::consume(const TraceEvent &e)
 {
-    os_ << formatLine(e) << '\n';
+    int shard = -1;
+    if (e.node >= 0 &&
+        static_cast<std::size_t>(e.node) < nodeShard_.size())
+        shard = nodeShard_[static_cast<std::size_t>(e.node)];
+    os_ << formatLine(e, shard) << '\n';
 }
 
 void

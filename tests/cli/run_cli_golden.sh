@@ -176,6 +176,35 @@ case_usage() {
         "$DRIVER" --version
     expect_usage_error "qosctl --version" "cmpqos" 0 \
         "$QOSCTL" --version
+
+    # Federation flags. A bogus transport is a fatal-style error (no
+    # usage text, exit 1) naming the offender ...
+    local rc=0
+    "$DRIVER" --transport frobnicate >"$WORK/fed.out" 2>&1 || rc=$?
+    if [ "$rc" -ne 1 ] ||
+        ! grep -q "unknown transport 'frobnicate'" "$WORK/fed.out"; then
+        echo "FAIL: bogus --transport exited $rc without naming it" >&2
+        cat "$WORK/fed.out" >&2
+        STATUS=1
+    else
+        echo "ok: cluster_driver bogus --transport"
+    fi
+    # ... and the accepted spellings run a federated engine end to
+    # end, reporting the topology.
+    if ! "$DRIVER" --nodes 2 --jobs 4 --quantum 500000 \
+        --instructions 400000 --shards 2 --transport uds \
+        >"$WORK/fed_run.out" 2>&1; then
+        echo "FAIL: federated run via new flags failed" >&2
+        cat "$WORK/fed_run.out" >&2
+        STATUS=1
+    elif ! grep -q "federation: 2 shards over uds transport" \
+        "$WORK/fed_run.out"; then
+        echo "FAIL: federated run did not report its topology" >&2
+        cat "$WORK/fed_run.out" >&2
+        STATUS=1
+    else
+        echo "ok: cluster_driver --shards/--transport run"
+    fi
 }
 
 case "$CASE" in

@@ -46,7 +46,8 @@ class DaemonHarness
 {
   public:
     explicit DaemonHarness(const EpochConfig &epoch,
-                           unsigned threads = 2)
+                           unsigned threads = 2, int shards = 1,
+                           FedTransport transport = FedTransport::Inproc)
     {
         static int instance = 0;
         const std::string tag = std::to_string(::getpid()) + "-" +
@@ -59,6 +60,8 @@ class DaemonHarness
         opts.socketPath = socketPath_;
         opts.journalDir = journalDir_;
         opts.threads = threads;
+        opts.shards = shards;
+        opts.shardTransport = transport;
         opts.epoch = epoch;
         opts.quiet = true;
         daemon_.emplace(std::move(opts));
@@ -227,6 +230,42 @@ TEST(Daemon, LiveRunReplaysByteIdenticallyAtAnyThreadCount)
         EXPECT_EQ(replayFingerprint(journal, threads),
                   done.fingerprint)
             << "replay at " << threads << " threads diverged";
+}
+
+TEST(Daemon, FederatedEpochReplaysSingleProcessByteIdentically)
+{
+    // The federation acceptance criterion from the service side: an
+    // epoch run on a FederatedEngine (2 shards over the UDS backend)
+    // journals and fingerprints exactly like the single-process
+    // engine, so its journal replays to the same fingerprint WITHOUT
+    // federation at any thread count. Shard count, like thread
+    // count, never leaks into results.
+    DaemonHarness h(smallEpoch(), 2, /*shards=*/2, FedTransport::Uds);
+    ASSERT_TRUE(h.started());
+    QosClient client(h.clientOptions());
+    std::string err;
+    ASSERT_TRUE(client.connect(err)) << err;
+
+    constexpr std::uint32_t jobs = 30;
+    for (std::uint32_t t = 1; t <= jobs; ++t) {
+        SubmitReply reply;
+        ASSERT_TRUE(client.submit(makeSubmit(t), reply, err)) << err;
+        EXPECT_TRUE(reply.error.empty()) << reply.error;
+    }
+
+    DrainDone done;
+    ASSERT_TRUE(client.drain(/*shutdown=*/true, done, err)) << err;
+    h.join();
+    EXPECT_EQ(done.submitted, jobs);
+    ASSERT_FALSE(done.fingerprint.empty());
+
+    const std::string journal = h.journalPathFor(0);
+    EXPECT_EQ(journalArrivalLines(journal), jobs);
+    for (const unsigned threads : {1u, 4u})
+        EXPECT_EQ(replayFingerprint(journal, threads),
+                  done.fingerprint)
+            << "single-process replay at " << threads
+            << " threads diverged from the federated live run";
 }
 
 TEST(Daemon, RefusedSubmissionsNeverTouchTheJournal)

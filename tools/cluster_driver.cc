@@ -23,6 +23,7 @@
 #include "common/build_info.hh"
 #include "common/logging.hh"
 #include "fault/plan.hh"
+#include "federation/federated_engine.hh"
 #include "telemetry/collector.hh"
 
 using namespace cmpqos;
@@ -58,7 +59,16 @@ usage(const char *argv0, std::FILE *out)
         "  --trace-capacity N     per-producer ring slots (default 32768)\n"
         "  --fault-plan FILE      inject the fault plan in FILE (crash,\n"
         "                         restart, probe-drop, probe-timeout,\n"
-        "                         dup-reply, slow-quantum directives)\n"
+        "                         dup-reply, slow-quantum directives;\n"
+        "                         federated runs also take link-drop,\n"
+        "                         link-dup, link-delay, partition)\n"
+        "  --shards N             federate the engine over N shard\n"
+        "                         controllers (default: single-process)\n"
+        "  --transport T          shard transport: inproc | uds\n"
+        "                         (default inproc; implies federation)\n"
+        "  --shard-bin PATH       uds only: spawn PATH as a worker\n"
+        "                         process per shard (default: serve\n"
+        "                         threads in-process)\n"
         "  --elastic-x X          Silver tier Elastic(X) budget in [0, 1]\n"
         "                         (default 0.05)\n"
         "  --check-invariants     run the invariant oracle at every quantum\n"
@@ -103,6 +113,8 @@ main(int argc, char **argv)
     std::string fault_plan_path;
     TelemetryConfig telemetry_config;
     FaultPlan fault_plan;
+    FederationConfig federation;
+    bool federated = false;
 
     auto value = [&](int &i) -> const char * {
         if (i + 1 >= argc)
@@ -150,6 +162,18 @@ main(int argc, char **argv)
                 std::strtoull(value(i), nullptr, 10);
         } else if (arg == "--fault-plan") {
             fault_plan_path = value(i);
+        } else if (arg == "--shards") {
+            federation.shards = std::atoi(value(i));
+            federated = true;
+        } else if (arg == "--transport") {
+            if (!parseFedTransport(value(i), federation.transport))
+                cmpqos_fatal("unknown transport '%s' (want inproc or "
+                             "uds)",
+                             argv[i]);
+            federated = true;
+        } else if (arg == "--shard-bin") {
+            federation.shardBinary = value(i);
+            federated = true;
         } else if (arg == "--elastic-x") {
             elastic_x = std::atof(value(i));
             if (elastic_x < 0.0 || elastic_x > 1.0)
@@ -213,23 +237,48 @@ main(int argc, char **argv)
 
     if (!fault_plan_path.empty()) {
         fault_plan = FaultPlan::parseFile(fault_plan_path);
-        fault_plan.validate(config.nodes);
+        fault_plan.validate(config.nodes,
+                            federated ? federation.shards : 0);
         config.faultPlan = &fault_plan;
     }
 
-    ClusterEngine engine(config);
+    // Shard-side telemetry rings mirror the hub's capacity so drop
+    // behaviour matches the single-process engine.
+    federation.telemetryRing = telemetry_config.ringCapacity;
+    std::unique_ptr<ClusterEngine> engine;
+    std::unique_ptr<FederatedEngine> fed_engine;
+    unsigned run_threads = 0;
+    if (federated) {
+        fed_engine =
+            std::make_unique<FederatedEngine>(config, federation);
+        run_threads = fed_engine->numThreads();
+    } else {
+        engine = std::make_unique<ClusterEngine>(config);
+        run_threads = engine->numThreads();
+    }
     std::printf("cluster: %d nodes, %u threads, %s placement, seed %llu\n",
-                engine.numNodes(), engine.numThreads(),
-                gacPolicyName(config.policy),
+                config.nodes, run_threads, gacPolicyName(config.policy),
                 static_cast<unsigned long long>(config.seed));
+    if (federated)
+        std::printf("federation: %d shards over %s transport%s%s\n",
+                    fed_engine->numShards(),
+                    fedTransportName(federation.transport),
+                    federation.shardBinary.empty() ? ""
+                                                   : ", worker ",
+                    federation.shardBinary.c_str());
     if (!fault_plan.empty())
         std::printf("fault plan: %zu directives (%s)\n",
                     fault_plan.faults.size(),
                     fault_plan.summary().c_str());
 
     const ClusterMetrics m =
-        duration == 0 ? engine.runToCompletion(*arrivals)
-                      : engine.runForDuration(*arrivals, duration);
+        federated
+            ? (duration == 0
+                   ? fed_engine->runToCompletion(*arrivals)
+                   : fed_engine->runForDuration(*arrivals, duration))
+            : (duration == 0
+                   ? engine->runToCompletion(*arrivals)
+                   : engine->runForDuration(*arrivals, duration));
 
     std::printf("\n%-26s %llu\n", "jobs submitted",
                 static_cast<unsigned long long>(m.submitted));
@@ -293,6 +342,17 @@ main(int argc, char **argv)
                         m.faults.duplicateReplies),
                     static_cast<unsigned long long>(
                         m.faults.stalledQuanta));
+    if (m.faults.linkDrops || m.faults.linkDups ||
+        m.faults.linkDelayCycles || m.faults.partitionedQuanta)
+        std::printf("%-26s %llu drops, %llu dups, %llu delay cycles, "
+                    "%llu partitioned quanta\n",
+                    "shard links",
+                    static_cast<unsigned long long>(m.faults.linkDrops),
+                    static_cast<unsigned long long>(m.faults.linkDups),
+                    static_cast<unsigned long long>(
+                        m.faults.linkDelayCycles),
+                    static_cast<unsigned long long>(
+                        m.faults.partitionedQuanta));
 
     if (print_fingerprint)
         std::printf("fingerprint %s\n", m.fingerprint().c_str());
@@ -303,8 +363,7 @@ main(int argc, char **argv)
         MetricsExporter::writeCsvFile(m, csv_path);
 
     if (collector != nullptr) {
-        collector->finish(config.seed, engine.numThreads(),
-                          m.wallSeconds);
+        collector->finish(config.seed, run_threads, m.wallSeconds);
         std::printf("%-26s %llu events (%llu dropped)\n", "trace",
                     static_cast<unsigned long long>(
                         collector->eventsDelivered()),
@@ -313,22 +372,42 @@ main(int argc, char **argv)
     }
 
     if (config.checkInvariants) {
-        const InvariantChecker *checker = engine.invariantChecker();
+        std::uint64_t checks = 0;
+        std::uint64_t violations = 0;
+        std::string report;
+        if (federated) {
+            checks = fed_engine->invariantChecksRun();
+            violations = fed_engine->invariantViolations();
+            if (violations != 0)
+                report = fed_engine->invariantReport();
+        } else {
+            const InvariantChecker *checker =
+                engine->invariantChecker();
+            checks = checker->checksRun();
+            violations = checker->totalViolations();
+            if (violations != 0)
+                report = checker->report();
+        }
         std::printf("%-26s %llu checks, %llu violations\n",
                     "invariants",
-                    static_cast<unsigned long long>(
-                        checker->checksRun()),
-                    static_cast<unsigned long long>(
-                        checker->totalViolations()));
-        if (!checker->ok()) {
-            std::printf("%s", checker->report().c_str());
+                    static_cast<unsigned long long>(checks),
+                    static_cast<unsigned long long>(violations));
+        if (violations != 0) {
+            std::printf("%s", report.c_str());
             // Reproducer: seed + plan fully replays the failure.
+            std::string topology;
+            if (federated)
+                topology = " --shards " +
+                           std::to_string(federation.shards) +
+                           " --transport " +
+                           fedTransportName(federation.transport);
             std::printf("reproducer: --seed %llu --nodes %d "
-                        "--quantum %llu%s%s\n",
+                        "--quantum %llu%s%s%s\n",
                         static_cast<unsigned long long>(config.seed),
                         config.nodes,
                         static_cast<unsigned long long>(
                             config.quantum),
+                        topology.c_str(),
                         fault_plan.empty() ? "" : " --fault-plan ",
                         fault_plan.empty()
                             ? ""

@@ -46,6 +46,11 @@ usage(const char *argv0, std::FILE *out)
         "  --nodes N              CMP nodes per epoch (default 8)\n"
         "  --threads T            engine worker threads, 0 = hardware\n"
         "                         (default 0; never affects results)\n"
+        "  --shards N             run each epoch on a federated\n"
+        "                         engine with N shards (default 1;\n"
+        "                         never affects results)\n"
+        "  --shard-transport T    shard link transport, inproc | uds\n"
+        "                         (default inproc)\n"
         "  --quantum C            placement quantum in cycles\n"
         "                         (default 2000000)\n"
         "  --seed S               cluster seed (default 1)\n"
@@ -121,6 +126,21 @@ main(int argc, char **argv)
             opts.journalDir = value(i);
         } else if (arg == "--threads") {
             opts.threads = static_cast<unsigned>(std::atoi(value(i)));
+        } else if (arg == "--shards") {
+            opts.shards = std::atoi(value(i));
+            if (opts.shards < 1) {
+                std::fprintf(stderr, "qosd: --shards must be >= 1\n");
+                return 2;
+            }
+        } else if (arg == "--shard-transport") {
+            const char *name = value(i);
+            if (!parseFedTransport(name, opts.shardTransport)) {
+                std::fprintf(stderr,
+                             "qosd: unknown shard transport '%s' "
+                             "(inproc | uds)\n",
+                             name);
+                return 2;
+            }
         } else if (arg == "--nodes") {
             if (!directive(opts.epoch, "nodes", value(i)))
                 return 2;
