@@ -69,6 +69,7 @@ template <typename V>
 void
 visitFields(FedInit &m, V &v)
 {
+    v.u32("protocol_version", m.protocolVersion);
     v.u32("shard_index", m.shardIndex);
     v.u32("shard_count", m.shardCount);
     v.i32("node_begin", m.nodeBegin);

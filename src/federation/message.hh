@@ -35,6 +35,16 @@
 namespace cmpqos
 {
 
+/**
+ * Version of the federation wire protocol: the FedMessage alternative
+ * order plus every visitFields field sequence below. Any change to
+ * that wire reality must bump this constant — `qoslint wirelint`
+ * refuses to regenerate docs/SCHEMA.lock otherwise (docs/PROTOCOL.md
+ * has the procedure). FedInit carries it so a version-skewed shard is
+ * rejected at handshake instead of desyncing mid-epoch.
+ */
+constexpr std::uint32_t fedProtocolVersion = 1;
+
 /** Wire form of a JobRequest plus the job length. */
 struct WireJobRequest
 {
@@ -93,6 +103,8 @@ struct WireNodeMetrics
 /** Bring-up: the shard's node slice and run parameters. */
 struct FedInit
 {
+    /** Sender's fedProtocolVersion; onInit rejects a mismatch. */
+    std::uint32_t protocolVersion = fedProtocolVersion;
     std::uint32_t shardIndex = 0;
     std::uint32_t shardCount = 1;
     std::int32_t nodeBegin = 0;

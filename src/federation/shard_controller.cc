@@ -122,6 +122,11 @@ ShardController::handle(const FedMessage &msg)
 FedMessage
 ShardController::onInit(const FedInit &m)
 {
+    if (m.protocolVersion != fedProtocolVersion)
+        return FedError{"protocol version mismatch: coordinator speaks " +
+                        std::to_string(m.protocolVersion) +
+                        ", shard speaks " +
+                        std::to_string(fedProtocolVersion)};
     if (m.nodeCount <= 0 ||
         m.nodeSeeds.size() != static_cast<std::size_t>(m.nodeCount))
         return FedError{"malformed init: node count / seed mismatch"};

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <mutex>
 
+#include "common/annotations.hh"
 #include "common/logging.hh"
 #include "workload/benchmark.hh"
 
@@ -110,6 +110,13 @@ QosFramework::setTrace(TraceRecorder *trace)
 namespace
 {
 
+// Guarded: concurrent node workers (src/cluster) may calibrate
+// different benchmarks at once. Annotated cmpqos::Mutex so the
+// thread-safety analysis (and qoslint lockorder) can see the
+// calibration cache like every other guarded structure.
+Mutex calibMu;
+std::map<std::string, double> calibMemo CMPQOS_GUARDED_BY(calibMu);
+
 /**
  * Memoized steady-state CPI of a benchmark running alone on a
  * @p ways-way partition (standing working set pre-filled). This is
@@ -121,18 +128,14 @@ double
 calibratedSoloCpi(const std::string &benchmark, unsigned ways,
                   const CmpConfig &cmp)
 {
-    // Guarded: concurrent node workers (src/cluster) may calibrate
-    // different benchmarks at once.
-    static std::mutex memo_mu;
-    static std::map<std::string, double> memo;
     const std::string key =
         benchmark + "/" + std::to_string(ways) + "/" +
         std::to_string(cmp.l2.sizeBytes) + "/" +
         std::to_string(cmp.l2.assoc);
     {
-        std::lock_guard<std::mutex> lock(memo_mu);
-        auto it = memo.find(key);
-        if (it != memo.end())
+        MutexLock lock(calibMu);
+        auto it = calibMemo.find(key);
+        if (it != calibMemo.end())
             return it->second;
     }
 
@@ -151,8 +154,8 @@ calibratedSoloCpi(const std::string &benchmark, unsigned ways,
         [&](Addr a) { sys.l2().access(0, a, false); });
     sim.startJobOn(0, &job);
     sim.run();
-    std::lock_guard<std::mutex> lock(memo_mu);
-    memo[key] = job.cpi();
+    MutexLock lock(calibMu);
+    calibMemo[key] = job.cpi();
     return job.cpi();
 }
 

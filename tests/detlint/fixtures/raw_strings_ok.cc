@@ -1,0 +1,33 @@
+// detlint fixture: raw string literals are data, not code. Nothing
+// in this file may fire, however hostile the raw-string contents —
+// including embedded double quotes, which used to desynchronise a
+// quote-pairing stripper and expose the tail of the literal as code.
+#include <string>
+
+const char *kPlain = R"(calls rand() and time(nullptr) freely)";
+
+// Embedded quotes around a banned construct: with naive quote
+// pairing the inner "rand(" would leak out of the literal.
+const char *kQuoted = R"(say "rand(" then "srand(7)" loudly)";
+
+// Custom delimiter, with a fake terminator inside the body.
+const char *kDelim = R"x(steady_clock inside )" still inside)x";
+
+// Multi-line raw string: every line is literal until the terminator.
+const char *kMulti = R"doc(
+    std::random_device rd;
+    srand(time(nullptr));
+    std::this_thread::get_id();
+)doc";
+
+// Encoding prefixes use the same raw-string lexing.
+const char8_t *kU8 = u8R"(system_clock)";
+const wchar_t *kWide = LR"(pthread_self())";
+
+// An identifier merely ending in R followed by a string is NOT a raw
+// string; the prose stays prose and the string stays a string.
+inline std::string
+joinVAR(const std::string &s)
+{
+    return s + "high_resolution_clock";
+}

@@ -188,6 +188,26 @@ TEST_F(ServedController, DuplicateSeqIsAbsorbedSilently)
     send(3, FedShutdown{});
 }
 
+TEST_F(ServedController, VersionSkewedInitIsRejected)
+{
+    FedInit skewed = init();
+    skewed.protocolVersion = fedProtocolVersion + 1;
+    send(1, skewed);
+    const FedMessage reply = expectReply();
+    const auto *err = std::get_if<FedError>(&reply);
+    ASSERT_NE(err, nullptr);
+    EXPECT_NE(err->message.find("protocol version mismatch"),
+              std::string::npos)
+        << err->message;
+
+    // A rejected init poisons nothing: the correctly-versioned
+    // handshake on the same link still brings the shard up.
+    send(2, init());
+    EXPECT_TRUE(std::holds_alternative<FedReady>(expectReply()));
+
+    send(3, FedShutdown{});
+}
+
 TEST_F(ServedController, GarbagePayloadAnswersFedError)
 {
     ASSERT_TRUE(coord_->send("\x01\x02\x03garbage that is long "

@@ -1,0 +1,1 @@
+// never reached: the config is rejected first

@@ -1,0 +1,2 @@
+// bottom of the DAG: includes nothing cross-module
+#include <cstdint>

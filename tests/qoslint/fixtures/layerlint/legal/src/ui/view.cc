@@ -1,0 +1,2 @@
+#include "base/core.hh"
+#include "engine/run.hh"

@@ -1,0 +1,2 @@
+// qoslint:allow(layering): fixture proves the escape hatch works
+#include "engine/run.hh"

@@ -1,0 +1,1 @@
+#include "engine/run.hh"

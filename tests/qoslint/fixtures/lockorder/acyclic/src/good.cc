@@ -1,0 +1,17 @@
+#include "locks.hh"
+
+void
+Pair::transfer()
+{
+    MutexLock la(a_);
+    MutexLock lb(b_);
+}
+
+void
+Pair::audit()
+{
+    MutexLock la(a_);
+    {
+        MutexLock lb(b_);
+    }
+}

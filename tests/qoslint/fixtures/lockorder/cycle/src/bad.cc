@@ -1,0 +1,15 @@
+#include "locks.hh"
+
+void
+Pair::transfer()
+{
+    MutexLock la(a_);
+    MutexLock lb(b_);
+}
+
+void
+Pair::rebalance()
+{
+    MutexLock lb(b_);
+    MutexLock la(a_);
+}

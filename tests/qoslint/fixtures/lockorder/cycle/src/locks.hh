@@ -1,0 +1,5 @@
+struct Pair
+{
+    Mutex a_;
+    Mutex b_;
+};

@@ -1,0 +1,9 @@
+#include <mutex>
+
+std::mutex rogue;
+
+void
+touch()
+{
+    std::lock_guard<std::mutex> lock(rogue);
+}

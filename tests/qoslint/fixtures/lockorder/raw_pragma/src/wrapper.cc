@@ -1,0 +1,8 @@
+#include <mutex>
+
+struct Wrapper
+{
+    // qoslint:allow(raw-mutex): fixture mirror of the one
+    // sanctioned std::mutex home (common/annotations.hh)
+    std::mutex m_;
+};

@@ -1,0 +1,14 @@
+#include "worker.hh"
+
+void
+Worker::step()
+{
+    MutexLock lb(b_);
+}
+
+void
+Worker::flush()
+{
+    MutexLock lb(b_);
+    MutexLock la(a_);
+}

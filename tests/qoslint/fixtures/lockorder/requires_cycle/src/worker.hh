@@ -1,0 +1,7 @@
+struct Worker
+{
+    Mutex a_;
+    Mutex b_;
+    void step() CMPQOS_REQUIRES(a_);
+    void flush();
+};

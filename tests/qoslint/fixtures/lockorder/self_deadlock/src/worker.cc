@@ -1,0 +1,7 @@
+#include "worker.hh"
+
+void
+Worker::stepLocked()
+{
+    MutexLock la(a_);
+}

@@ -1,0 +1,5 @@
+struct Worker
+{
+    Mutex a_;
+    void stepLocked() CMPQOS_REQUIRES(a_);
+};

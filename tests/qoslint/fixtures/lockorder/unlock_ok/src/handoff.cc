@@ -1,0 +1,16 @@
+#include "locks.hh"
+
+void
+Pair::handoff()
+{
+    MutexLock la(a_);
+    la.unlock();
+    MutexLock lb(b_);
+}
+
+void
+Pair::rebalance()
+{
+    MutexLock lb(b_);
+    MutexLock la(a_);
+}

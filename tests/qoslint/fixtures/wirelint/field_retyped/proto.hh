@@ -1,0 +1,37 @@
+// Fixture protocol: a two-message wire format in the repo's
+// visitFields idiom.
+#include <cstdint>
+#include <string>
+#include <variant>
+
+constexpr std::uint32_t demoProtocolVersion = 1;
+
+struct Ping
+{
+    std::uint32_t seq = 0;
+    std::string tag;
+};
+
+struct Pong
+{
+    std::uint32_t seq = 0;
+    std::uint64_t stamp = 0;
+};
+
+using DemoMessage = std::variant<Ping, Pong>;
+
+template <typename V>
+void
+visitFields(Ping &m, V &v)
+{
+    v.u32("seq", m.seq);
+    v.str("tag", m.tag);
+}
+
+template <typename V>
+void
+visitFields(Pong &m, V &v)
+{
+    v.u32("seq", m.seq);
+    v.u32("stamp", m.stamp);
+}

@@ -1,0 +1,10 @@
+// Fixture codec: the primitive surface wirelint locks.
+#include <cstdint>
+#include <string>
+
+struct DemoWriter
+{
+    void u32(const char *name, std::uint32_t v);
+    void u64(const char *name, std::uint64_t v);
+    void str(const char *name, const std::string &s);
+};

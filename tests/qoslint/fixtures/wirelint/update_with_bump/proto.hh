@@ -1,0 +1,39 @@
+// Fixture protocol: a two-message wire format in the repo's
+// visitFields idiom.
+#include <cstdint>
+#include <string>
+#include <variant>
+
+constexpr std::uint32_t demoProtocolVersion = 2;
+
+struct Ping
+{
+    std::uint32_t seq = 0;
+    std::string tag;
+    std::uint32_t flags = 0;
+};
+
+struct Pong
+{
+    std::uint32_t seq = 0;
+    std::uint64_t stamp = 0;
+};
+
+using DemoMessage = std::variant<Ping, Pong>;
+
+template <typename V>
+void
+visitFields(Ping &m, V &v)
+{
+    v.u32("seq", m.seq);
+    v.str("tag", m.tag);
+    v.u32("flags", m.flags);
+}
+
+template <typename V>
+void
+visitFields(Pong &m, V &v)
+{
+    v.u32("seq", m.seq);
+    v.u64("stamp", m.stamp);
+}

@@ -26,9 +26,10 @@
  * so the allowlist stays auditable.
  *
  * Matching runs on code only — comments and string literals are
- * stripped first — so prose about "steady_clock" never trips a rule.
- * detlint's own output is deterministic: files are scanned in sorted
- * path order.
+ * stripped first (including raw string literals and backslash-
+ * continued // comments; see tools/lint_util.hh) — so prose about
+ * "steady_clock" never trips a rule. detlint's own output is
+ * deterministic: files are scanned in sorted path order.
  */
 
 #include <algorithm>
@@ -40,6 +41,8 @@
 #include <set>
 #include <string>
 #include <vector>
+
+#include "lint_util.hh"
 
 namespace fs = std::filesystem;
 
@@ -148,132 +151,16 @@ struct Violation
     }
 };
 
-struct Directives
-{
-    std::set<std::string> allow;
-    std::set<std::string> expect;
-    std::vector<std::string> errors;
-};
-
-/** Rule ids are [a-z-]+; anything else inside detlint:...(...) is
- *  documentation quoting the syntax (e.g. "detlint:allow(<rule>)"),
- *  not a directive, and is ignored rather than flagged. */
-bool
-plausibleRuleId(const std::string &id)
-{
-    if (id.empty())
-        return false;
-    for (char c : id)
-        if (!((c >= 'a' && c <= 'z') || c == '-'))
-            return false;
-    return true;
-}
+using lintutil::Directives;
 
 /** Parse detlint:allow(...)/detlint:expect(...) out of a raw line. */
 Directives
 parseDirectives(const std::string &line)
 {
-    Directives d;
-    static const std::regex dir_re(
-        R"(detlint:(allow|expect)\(([^)]*)\)(\s*:\s*(\S.*))?)");
-    for (auto it = std::sregex_iterator(line.begin(), line.end(), dir_re);
-         it != std::sregex_iterator(); ++it) {
-        const std::string kind = (*it)[1];
-        std::string list = (*it)[2];
-        const bool has_reason = (*it)[4].matched;
-        std::set<std::string> ids;
-        std::size_t pos = 0;
-        while (pos <= list.size()) {
-            std::size_t comma = list.find(',', pos);
-            std::string id = list.substr(
-                pos, comma == std::string::npos ? comma : comma - pos);
-            const auto b = id.find_first_not_of(" \t");
-            const auto e = id.find_last_not_of(" \t");
-            id = b == std::string::npos ? ""
-                                        : id.substr(b, e - b + 1);
-            if (!id.empty())
-                ids.insert(id);
-            if (comma == std::string::npos)
-                break;
-            pos = comma + 1;
-        }
-        for (const std::string &id : ids) {
-            if (!plausibleRuleId(id))
-                continue; // prose quoting the syntax, not a directive
-            if (!knownRule(id)) {
-                d.errors.push_back("detlint:" + kind +
-                                   " names unknown rule '" + id + "'");
-                continue;
-            }
-            if (kind == "allow") {
-                if (!has_reason) {
-                    d.errors.push_back(
-                        "detlint:allow(" + id +
-                        ") needs a reason: detlint:allow(" + id +
-                        "): <why this is deterministic>");
-                    continue;
-                }
-                d.allow.insert(id);
-            } else {
-                d.expect.insert(id);
-            }
-        }
-    }
-    return d;
-}
-
-/**
- * Strip comments and string/char literals from one line, carrying
- * block-comment state across lines. Stripped spans are replaced with
- * spaces so column positions stay stable.
- */
-std::string
-stripCode(const std::string &line, bool &in_block_comment)
-{
-    std::string out;
-    out.reserve(line.size());
-    for (std::size_t i = 0; i < line.size();) {
-        if (in_block_comment) {
-            if (line.compare(i, 2, "*/") == 0) {
-                in_block_comment = false;
-                out += "  ";
-                i += 2;
-            } else {
-                out += ' ';
-                ++i;
-            }
-            continue;
-        }
-        if (line.compare(i, 2, "//") == 0)
-            break; // rest of line is comment
-        if (line.compare(i, 2, "/*") == 0) {
-            in_block_comment = true;
-            out += "  ";
-            i += 2;
-            continue;
-        }
-        if (line[i] == '"' || line[i] == '\'') {
-            const char quote = line[i];
-            out += ' ';
-            ++i;
-            while (i < line.size()) {
-                if (line[i] == '\\' && i + 1 < line.size()) {
-                    out += "  ";
-                    i += 2;
-                    continue;
-                }
-                const bool closing = line[i] == quote;
-                out += ' ';
-                ++i;
-                if (closing)
-                    break;
-            }
-            continue;
-        }
-        out += line[i];
-        ++i;
-    }
-    return out;
+    return lintutil::parseDirectives(
+        line, "detlint", [](const std::string &id) {
+            return knownRule(id);
+        });
 }
 
 struct FileScan
@@ -294,7 +181,7 @@ scanFile(const fs::path &path)
         return result;
     }
     const bool export_path = isExportPath(path);
-    bool in_block_comment = false;
+    lintutil::StripState strip;
     // Directives on pure-comment lines apply to the next code line
     // (and survive a multi-line comment, so a wrapped justification
     // works).
@@ -309,7 +196,7 @@ scanFile(const fs::path &path)
             result.violations.push_back(
                 {path.string(), lineno, "detlint-directive", err});
 
-        const std::string code = stripCode(line, in_block_comment);
+        const std::string code = lintutil::stripLine(line, strip);
         const bool code_blank =
             code.find_first_not_of(" \t") == std::string::npos;
         if (code_blank) {
@@ -344,39 +231,10 @@ scanFile(const fs::path &path)
     return result;
 }
 
-bool
-lintableFile(const fs::path &p)
-{
-    static const std::set<std::string> exts = {
-        ".cc", ".hh", ".h", ".cpp", ".hpp", ".cxx", ".hxx"};
-    return exts.count(p.extension().string()) != 0;
-}
-
 std::vector<fs::path>
 collectFiles(const std::vector<std::string> &args, bool &ok)
 {
-    std::vector<fs::path> files;
-    for (const std::string &a : args) {
-        fs::path p(a);
-        std::error_code ec;
-        if (fs::is_directory(p, ec)) {
-            for (const auto &entry :
-                 fs::recursive_directory_iterator(p)) {
-                if (entry.is_regular_file() &&
-                    lintableFile(entry.path()))
-                    files.push_back(entry.path());
-            }
-        } else if (fs::is_regular_file(p, ec)) {
-            files.push_back(p);
-        } else {
-            std::fprintf(stderr, "detlint: no such path: %s\n",
-                         a.c_str());
-            ok = false;
-        }
-    }
-    std::sort(files.begin(), files.end());
-    files.erase(std::unique(files.begin(), files.end()), files.end());
-    return files;
+    return lintutil::collectFiles(args, ok, "detlint");
 }
 
 int

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * qoslint — the contract lint suite. Three analyzers behind one
+ * binary, run as ctest entries (label "lint") and in the CI `static`
+ * lane:
+ *
+ *  - wirelint: extracts the wire schema (message type ids, field
+ *    names, types, order) from the `visitFields` definitions and
+ *    diffs it against the checked-in docs/SCHEMA.lock, so a silent
+ *    edit to a replay-affecting wire format is unmergeable;
+ *
+ *  - layerlint: checks every `#include "module/..."` edge in src/
+ *    against the declared module DAG, so architectural layering is a
+ *    build gate instead of a convention;
+ *
+ *  - lockorder: extracts the Mutex acquisition order from annotated
+ *    lock sites (MutexLock nesting plus CMPQOS_REQUIRES seeding) and
+ *    rejects cycles in the lock hierarchy; also bans raw std::mutex
+ *    primitives that would be invisible to the thread-safety
+ *    analysis.
+ *
+ * Like detlint, qoslint deliberately links nothing from src/ (it
+ * polices that code) and its output is deterministic: files are
+ * scanned in sorted path order, findings sorted before printing.
+ *
+ * Escape hatch, mirroring detlint's: `// qoslint:allow(<rule>): <reason>`
+ * on the offending line or the comment line above. The reason is
+ * mandatory; naming an unknown rule is itself an error.
+ *
+ * Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+ */
+
+#ifndef CMPQOS_TOOLS_QOSLINT_HH
+#define CMPQOS_TOOLS_QOSLINT_HH
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "../lint_util.hh"
+
+namespace qoslint
+{
+
+namespace fs = lintutil::fs;
+
+/** Every rule id any subcommand can fire or a pragma can name.
+ *  Shared across the analyzers so a lockorder pragma in a file
+ *  layerlint scans is not reported as unknown. */
+inline bool
+knownRule(const std::string &id)
+{
+    return id == "layering" || id == "lock-order" ||
+           id == "raw-mutex" || id == "wire-schema" ||
+           id == "qoslint-directive";
+}
+
+inline lintutil::Directives
+parseDirectives(const std::string &line)
+{
+    return lintutil::parseDirectives(line, "qoslint", knownRule);
+}
+
+struct Violation
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string what;
+
+    bool
+    operator<(const Violation &o) const
+    {
+        return std::tie(file, line, rule, what) <
+               std::tie(o.file, o.line, o.rule, o.what);
+    }
+};
+
+inline void
+printViolations(std::vector<Violation> &all)
+{
+    std::sort(all.begin(), all.end());
+    for (const Violation &v : all)
+        std::printf("%s:%d: [%s] %s\n", v.file.c_str(), v.line,
+                    v.rule.c_str(), v.what.c_str());
+}
+
+/** Parsed EXPECT file of one self-test fixture case:
+ *  `<mode> <pass|fail> [required output substring]`. */
+struct Expectation
+{
+    std::string mode = "check";
+    bool pass = true;
+    std::string substring;
+};
+
+inline bool
+readExpectation(const fs::path &case_dir, Expectation &out,
+                std::string &err)
+{
+    std::string text;
+    if (!lintutil::readFile(case_dir / "EXPECT", text)) {
+        err = "missing EXPECT file";
+        return false;
+    }
+    const std::size_t nl = text.find('\n');
+    std::string line =
+        nl == std::string::npos ? text : text.substr(0, nl);
+    const std::size_t sp = line.find(' ');
+    if (sp == std::string::npos) {
+        err = "EXPECT must be '<mode> <pass|fail> [substring]'";
+        return false;
+    }
+    out.mode = line.substr(0, sp);
+    std::string rest = line.substr(sp + 1);
+    const std::size_t sp2 = rest.find(' ');
+    const std::string verdict =
+        sp2 == std::string::npos ? rest : rest.substr(0, sp2);
+    out.substring =
+        sp2 == std::string::npos ? "" : rest.substr(sp2 + 1);
+    if (verdict == "pass")
+        out.pass = true;
+    else if (verdict == "fail")
+        out.pass = false;
+    else {
+        err = "EXPECT verdict must be pass or fail, got '" + verdict +
+              "'";
+        return false;
+    }
+    return true;
+}
+
+/** Subdirectories of a fixture corpus, sorted for determinism. */
+inline std::vector<fs::path>
+fixtureCases(const fs::path &dir)
+{
+    std::vector<fs::path> cases;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec))
+        if (entry.is_directory())
+            cases.push_back(entry.path());
+    std::sort(cases.begin(), cases.end());
+    return cases;
+}
+
+// Subcommand entry points (each parses its own arguments).
+int wirelintMain(const std::vector<std::string> &args);
+int layerlintMain(const std::vector<std::string> &args);
+int lockorderMain(const std::vector<std::string> &args);
+
+} // namespace qoslint
+
+#endif // CMPQOS_TOOLS_QOSLINT_HH

@@ -1,0 +1,774 @@
+/**
+ * @file
+ * wirelint — the wire-schema lock analyzer.
+ *
+ * The replay journal, the federation epoch-commit protocol and the
+ * qosd wire protocol all depend on the exact byte layout produced by
+ * the `visitFields` visitor definitions: message type ids are
+ * std::variant alternative indices, and field order within a message
+ * is the order of visitor calls. A reordered field or a changed
+ * primitive silently breaks replay compatibility without failing any
+ * unit test, because writer and reader share the same definition.
+ *
+ * wirelint closes that hole: it extracts the schema that the source
+ * actually implements — codec primitive set, variant alternative
+ * order, and per-struct field (kind, name) sequences — and compares
+ * it byte-for-byte against the checked-in docs/SCHEMA.lock. Any
+ * drift fails `ctest -L lint`. Regeneration (--update) refuses to
+ * write unless the owning protocol version constant was bumped, so a
+ * wire change is always paired with a version change reviewers can
+ * see.
+ *
+ * Extraction is textual (comment-aware via lint_util.hh) and
+ * deliberately conservative: a message type in the variant with no
+ * visitFields definition, or a field naming a primitive outside the
+ * codec set, is a hard error (exit 2) — wirelint refuses to lock a
+ * schema it cannot fully see.
+ *
+ * Known limitation: for `v.list(...)` fields the element type is not
+ * recorded on the field line, but element structs have their own
+ * locked sections, so element layout changes are still caught.
+ */
+
+#include <cstdarg>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "qoslint.hh"
+
+namespace qoslint
+{
+namespace
+{
+
+void
+outf(std::string &out, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    char buf[1024];
+    std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    out += buf;
+}
+
+struct WireField
+{
+    std::string kind; // codec primitive, or "embed" for nested visit
+    std::string name;
+};
+
+struct WireStruct
+{
+    std::string name;
+    std::vector<WireField> fields;
+};
+
+struct WireProtocol
+{
+    std::string name;
+    std::string variantName;
+    std::vector<std::string> types; // variant alternatives, id order
+    std::string versionConst;
+    std::uint32_t version = 0;
+    std::vector<WireStruct> structs; // definition order
+};
+
+struct WireSchema
+{
+    std::vector<std::string> codec;
+    std::vector<WireProtocol> protocols; // --proto order
+    std::vector<std::string> errors;
+};
+
+struct WireOpts
+{
+    enum Mode
+    {
+        Check,
+        Update,
+        Emit
+    };
+    Mode mode = Check;
+    std::string lock;
+    std::string codec;
+    std::vector<std::pair<std::string, std::vector<std::string>>>
+        protos;
+};
+
+/** Comment-strip a whole file, keeping string literals (field names
+ *  live inside them) and newlines (definitions span lines). */
+std::string
+strippedText(const fs::path &file, std::vector<std::string> &errors)
+{
+    std::string text;
+    if (!lintutil::readFile(file, text)) {
+        errors.push_back("cannot read " + file.string());
+        return "";
+    }
+    lintutil::StripState st;
+    std::istringstream in(text);
+    std::string line, out;
+    while (std::getline(in, line)) {
+        out += lintutil::stripLine(line, st, /*keep_strings=*/true);
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+trimmed(const std::string &s)
+{
+    const auto b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    const auto e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+std::vector<std::string>
+extractCodec(const fs::path &file, std::vector<std::string> &errors)
+{
+    const std::string text = strippedText(file, errors);
+    std::vector<std::string> codec;
+    static const std::regex method_re(
+        R"(void\s+(\w+)\s*\(\s*const\s+char\s*\*)");
+    for (auto it =
+             std::sregex_iterator(text.begin(), text.end(), method_re);
+         it != std::sregex_iterator(); ++it) {
+        const std::string name = (*it)[1];
+        if (std::find(codec.begin(), codec.end(), name) == codec.end())
+            codec.push_back(name);
+    }
+    if (codec.empty())
+        errors.push_back("no codec primitives found in " +
+                         file.string());
+    return codec;
+}
+
+/** Find the variant alias `using X = std::variant<...>` and split its
+ *  alternatives at top angle-bracket level. */
+void
+extractVariant(const std::string &text, WireProtocol &p,
+               std::vector<std::string> &errors)
+{
+    static const std::regex var_re(
+        R"(using\s+(\w+)\s*=\s*std\s*::\s*variant\s*<)");
+    auto it = std::sregex_iterator(text.begin(), text.end(), var_re);
+    const auto end = std::sregex_iterator();
+    if (it == end) {
+        errors.push_back("protocol '" + p.name +
+                         "': no `using X = std::variant<...>` message "
+                         "alias found");
+        return;
+    }
+    const std::smatch m = *it;
+    if (std::next(it) != end) {
+        errors.push_back("protocol '" + p.name +
+                         "': multiple std::variant aliases; wirelint "
+                         "cannot pick the message type");
+        return;
+    }
+    p.variantName = m[1];
+    std::size_t i = m.position(0) + m.length(0);
+    int depth = 1;
+    std::string current;
+    for (; i < text.size() && depth > 0; ++i) {
+        const char c = text[i];
+        if (c == '<')
+            ++depth;
+        else if (c == '>') {
+            --depth;
+            if (depth == 0)
+                break;
+        }
+        if (c == ',' && depth == 1) {
+            p.types.push_back(trimmed(current));
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    if (depth != 0) {
+        errors.push_back("protocol '" + p.name +
+                         "': unterminated variant alias");
+        return;
+    }
+    if (!trimmed(current).empty())
+        p.types.push_back(trimmed(current));
+}
+
+void
+extractVersion(const std::string &text, WireProtocol &p,
+               std::vector<std::string> &errors)
+{
+    static const std::regex const_re(
+        R"(constexpr\s+std\s*::\s*uint32_t\s+(\w+)\s*=\s*(\d+))");
+    for (auto it =
+             std::sregex_iterator(text.begin(), text.end(), const_re);
+         it != std::sregex_iterator(); ++it) {
+        const std::string name = (*it)[1];
+        if (!endsWith(name, "rotocolVersion"))
+            continue;
+        if (!p.versionConst.empty()) {
+            errors.push_back("protocol '" + p.name +
+                             "': multiple protocol version constants (" +
+                             p.versionConst + ", " + name + ")");
+            return;
+        }
+        p.versionConst = name;
+        p.version = static_cast<std::uint32_t>(
+            std::strtoul((*it)[2].str().c_str(), nullptr, 10));
+    }
+    if (p.versionConst.empty())
+        errors.push_back(
+            "protocol '" + p.name +
+            "': no `constexpr std::uint32_t <x>ProtocolVersion = N;` "
+            "constant found");
+}
+
+/** Parse one visitFields body: visitor calls in source order. */
+std::vector<WireField>
+extractFields(const std::string &body, const std::string &visitor)
+{
+    struct Hit
+    {
+        std::size_t pos;
+        WireField field;
+    };
+    std::vector<Hit> hits;
+    if (!visitor.empty()) {
+        const std::regex field_re(
+            visitor + R"(\s*\.\s*(\w+)\s*\(\s*"([^"]*)\")");
+        for (auto it = std::sregex_iterator(body.begin(), body.end(),
+                                            field_re);
+             it != std::sregex_iterator(); ++it)
+            hits.push_back({static_cast<std::size_t>(it->position(0)),
+                            {(*it)[1], (*it)[2]}});
+    }
+    static const std::regex embed_re(
+        R"(visitFields\s*\(\s*\w+\s*\.\s*(\w+))");
+    for (auto it =
+             std::sregex_iterator(body.begin(), body.end(), embed_re);
+         it != std::sregex_iterator(); ++it)
+        hits.push_back({static_cast<std::size_t>(it->position(0)),
+                        {"embed", (*it)[1]}});
+    std::sort(hits.begin(), hits.end(),
+              [](const Hit &a, const Hit &b) { return a.pos < b.pos; });
+    std::vector<WireField> fields;
+    for (const Hit &h : hits)
+        fields.push_back(h.field);
+    return fields;
+}
+
+void
+extractStructs(const std::string &text, WireProtocol &p,
+               std::vector<std::string> &errors)
+{
+    static const std::regex def_re(
+        R"(visitFields\s*\(\s*([A-Za-z_]\w*)\s*&\s*(\w*)\s*,\s*V\s*&\s*(\w*)\s*\))");
+    for (auto it =
+             std::sregex_iterator(text.begin(), text.end(), def_re);
+         it != std::sregex_iterator(); ++it) {
+        const std::smatch m = *it;
+        std::size_t i = m.position(0) + m.length(0);
+        while (i < text.size() &&
+               (text[i] == ' ' || text[i] == '\t' || text[i] == '\n' ||
+                text[i] == '\r'))
+            ++i;
+        if (i >= text.size() || text[i] != '{')
+            continue; // declaration or forward use, not a definition
+        const std::size_t open = i;
+        int depth = 0;
+        for (; i < text.size(); ++i) {
+            if (text[i] == '{')
+                ++depth;
+            else if (text[i] == '}' && --depth == 0)
+                break;
+        }
+        if (depth != 0) {
+            errors.push_back("protocol '" + p.name +
+                             "': unbalanced braces after visitFields(" +
+                             m[1].str() + " &, ...)");
+            return;
+        }
+        WireStruct s;
+        s.name = m[1];
+        for (const WireStruct &prev : p.structs)
+            if (prev.name == s.name)
+                errors.push_back("protocol '" + p.name +
+                                 "': duplicate visitFields definition "
+                                 "for '" +
+                                 s.name + "'");
+        s.fields = extractFields(
+            text.substr(open, i - open + 1), m[3]);
+        p.structs.push_back(std::move(s));
+    }
+}
+
+WireSchema
+extractSchema(const WireOpts &opts)
+{
+    WireSchema schema;
+    schema.codec = extractCodec(opts.codec, schema.errors);
+    for (const auto &[name, files] : opts.protos) {
+        WireProtocol p;
+        p.name = name;
+        std::string all;
+        for (const std::string &f : files)
+            all += strippedText(f, schema.errors) + "\n";
+        extractVariant(all, p, schema.errors);
+        extractVersion(all, p, schema.errors);
+        extractStructs(all, p, schema.errors);
+        for (std::size_t id = 0; id < p.types.size(); ++id) {
+            bool found = false;
+            for (const WireStruct &s : p.structs)
+                found = found || s.name == p.types[id];
+            if (!found)
+                schema.errors.push_back(
+                    "protocol '" + name + "': message type '" +
+                    p.types[id] + "' (id " + std::to_string(id) +
+                    ") has no visitFields definition");
+        }
+        for (const WireStruct &s : p.structs)
+            for (const WireField &f : s.fields)
+                if (f.kind != "embed" &&
+                    std::find(schema.codec.begin(), schema.codec.end(),
+                              f.kind) == schema.codec.end())
+                    schema.errors.push_back(
+                        "protocol '" + name + "': " + s.name + "." +
+                        f.name + " uses '" + f.kind +
+                        "' which is not a codec primitive");
+        schema.protocols.push_back(std::move(p));
+    }
+    return schema;
+}
+
+/**
+ * Render the lock text. Struct sections are emitted in variant-id
+ * order first, then remaining (embedded/list-element) structs sorted
+ * by name — so the lock is invariant under pure definition reordering
+ * in the source, which is not a wire change.
+ */
+std::string
+renderLock(const WireSchema &schema)
+{
+    std::string out;
+    out += "# cmpqos wire-schema lock — machine-extracted from the\n";
+    out += "# visitFields message definitions by `qoslint wirelint`."
+           "\n";
+    out += "# Do not edit by hand. To accept an intentional wire\n";
+    out += "# change: bump the owning protocol version constant, then"
+           "\n";
+    out += "# regenerate with `qoslint wirelint --update ...` (see\n";
+    out += "# docs/PROTOCOL.md).\n";
+    out += "lock-format 1\n";
+    out += "codec";
+    for (const std::string &c : schema.codec)
+        out += " " + c;
+    out += "\n";
+    for (const WireProtocol &p : schema.protocols) {
+        out += "\nprotocol " + p.name + "\n";
+        outf(out, "  version %u via %s\n", p.version,
+             p.versionConst.c_str());
+        out += "  variant " + p.variantName + "\n";
+        for (std::size_t id = 0; id < p.types.size(); ++id)
+            outf(out, "  type %zu %s\n", id, p.types[id].c_str());
+        std::vector<const WireStruct *> ordered;
+        for (const std::string &t : p.types)
+            for (const WireStruct &s : p.structs)
+                if (s.name == t)
+                    ordered.push_back(&s);
+        std::vector<const WireStruct *> rest;
+        for (const WireStruct &s : p.structs)
+            if (std::find(p.types.begin(), p.types.end(), s.name) ==
+                p.types.end())
+                rest.push_back(&s);
+        std::sort(rest.begin(), rest.end(),
+                  [](const WireStruct *a, const WireStruct *b) {
+                      return a->name < b->name;
+                  });
+        ordered.insert(ordered.end(), rest.begin(), rest.end());
+        for (const WireStruct *s : ordered) {
+            out += "  struct " + s->name + "\n";
+            for (std::size_t i = 0; i < s->fields.size(); ++i)
+                outf(out, "    field %zu %s %s\n", i,
+                     s->fields[i].kind.c_str(),
+                     s->fields[i].name.c_str());
+            out += "  endstruct\n";
+        }
+        out += "endprotocol\n";
+    }
+    return out;
+}
+
+/** Lock text reduced to comparable parts: codec line, and for each
+ *  protocol its version and its body minus the version line. */
+struct LockSummary
+{
+    std::string codec;
+    struct Proto
+    {
+        std::uint32_t version = 0;
+        std::string body;
+    };
+    std::map<std::string, Proto> protocols;
+};
+
+LockSummary
+summarizeLock(const std::string &text)
+{
+    LockSummary sum;
+    std::istringstream in(text);
+    std::string line, current;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        if (line.rfind("codec", 0) == 0 && current.empty()) {
+            sum.codec = line;
+            continue;
+        }
+        if (line.rfind("protocol ", 0) == 0) {
+            current = trimmed(line.substr(9));
+            continue;
+        }
+        if (line == "endprotocol") {
+            current.clear();
+            continue;
+        }
+        if (current.empty())
+            continue;
+        static const std::regex ver_re(R"(^\s*version\s+(\d+)\b)");
+        std::smatch m;
+        if (std::regex_search(line, m, ver_re)) {
+            sum.protocols[current].version =
+                static_cast<std::uint32_t>(
+                    std::strtoul(m[1].str().c_str(), nullptr, 10));
+            continue;
+        }
+        sum.protocols[current].body += line + "\n";
+    }
+    return sum;
+}
+
+int
+checkLock(const WireOpts &opts, const std::string &generated,
+          std::string &out)
+{
+    std::string locked;
+    if (!lintutil::readFile(opts.lock, locked)) {
+        outf(out,
+             "%s:0: [wire-schema] lock file missing; generate it with "
+             "`qoslint wirelint --update`\n",
+             opts.lock.c_str());
+        return 1;
+    }
+    if (locked == generated) {
+        outf(out, "wirelint: %s matches extracted schema (%zu "
+                  "protocol(s))\n",
+             opts.lock.c_str(),
+             summarizeLock(generated).protocols.size());
+        return 0;
+    }
+    // Show the first divergence so the finding is actionable.
+    std::vector<std::string> a, b;
+    std::istringstream ia(locked), ib(generated);
+    std::string line;
+    while (std::getline(ia, line))
+        a.push_back(line);
+    while (std::getline(ib, line))
+        b.push_back(line);
+    std::size_t i = 0;
+    while (i < a.size() && i < b.size() && a[i] == b[i])
+        ++i;
+    outf(out,
+         "%s:%zu: [wire-schema] schema drift: the visitFields "
+         "definitions no longer match the checked-in lock\n",
+         opts.lock.c_str(), i + 1);
+    for (std::size_t j = i; j < a.size() && j < i + 5; ++j)
+        outf(out, "  lock: %s\n", a[j].c_str());
+    for (std::size_t j = i; j < b.size() && j < i + 5; ++j)
+        outf(out, "  real: %s\n", b[j].c_str());
+    out += "wirelint: if the wire change is intentional, bump the "
+           "protocol version constant and regenerate with --update "
+           "(docs/PROTOCOL.md)\n";
+    return 1;
+}
+
+int
+updateLock(const WireOpts &opts, const std::string &generated,
+           std::string &out)
+{
+    std::string old_text;
+    const bool had_lock = lintutil::readFile(opts.lock, old_text);
+    int failures = 0;
+    if (had_lock && old_text != generated) {
+        const LockSummary olds = summarizeLock(old_text);
+        const LockSummary news = summarizeLock(generated);
+        const bool codec_changed = olds.codec != news.codec;
+        if (codec_changed)
+            outf(out, "wirelint: codec primitive set changed (%s -> "
+                      "%s); every protocol must bump\n",
+                 olds.codec.c_str(), news.codec.c_str());
+        for (const auto &[name, np] : news.protocols) {
+            const auto it = olds.protocols.find(name);
+            if (it == olds.protocols.end())
+                continue; // new protocol: no bump to demand
+            const bool changed =
+                codec_changed || it->second.body != np.body;
+            if (changed && np.version <= it->second.version) {
+                outf(out,
+                     "wirelint: wire content of protocol '%s' changed "
+                     "but its version constant is still %u (locked: "
+                     "%u); bump it before regenerating\n",
+                     name.c_str(), np.version, it->second.version);
+                ++failures;
+            }
+        }
+        if (codec_changed && failures == 0 && news.protocols.empty())
+            ++failures;
+    }
+    if (failures > 0)
+        return 1;
+    std::ofstream f(opts.lock, std::ios::binary | std::ios::trunc);
+    if (!f) {
+        outf(out, "wirelint: cannot write %s\n", opts.lock.c_str());
+        return 2;
+    }
+    f << generated;
+    outf(out, "wirelint: wrote %s (%zu protocol(s))\n",
+         opts.lock.c_str(),
+         summarizeLock(generated).protocols.size());
+    return 0;
+}
+
+bool
+parseWireArgs(const std::vector<std::string> &args, WireOpts &opts,
+              std::string &err)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &a = args[i];
+        auto next = [&](std::string &into) {
+            if (i + 1 >= args.size()) {
+                err = a + " needs a value";
+                return false;
+            }
+            into = args[++i];
+            return true;
+        };
+        if (a == "--check")
+            opts.mode = WireOpts::Check;
+        else if (a == "--update")
+            opts.mode = WireOpts::Update;
+        else if (a == "--emit")
+            opts.mode = WireOpts::Emit;
+        else if (a == "--lock") {
+            if (!next(opts.lock))
+                return false;
+        } else if (a == "--codec") {
+            if (!next(opts.codec))
+                return false;
+        } else if (a == "--proto") {
+            std::string spec;
+            if (!next(spec))
+                return false;
+            const std::size_t eq = spec.find('=');
+            if (eq == std::string::npos) {
+                err = "--proto wants <name>=<file>[,<file>...]";
+                return false;
+            }
+            std::vector<std::string> files;
+            std::string rest = spec.substr(eq + 1);
+            std::size_t pos = 0;
+            while (pos <= rest.size()) {
+                const std::size_t comma = rest.find(',', pos);
+                const std::string f = rest.substr(
+                    pos,
+                    comma == std::string::npos ? comma : comma - pos);
+                if (!f.empty())
+                    files.push_back(f);
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
+            opts.protos.emplace_back(spec.substr(0, eq),
+                                     std::move(files));
+        } else {
+            err = "unknown wirelint argument: " + a;
+            return false;
+        }
+    }
+    if (opts.codec.empty() || opts.protos.empty()) {
+        err = "wirelint needs --codec and at least one --proto";
+        return false;
+    }
+    if (opts.mode != WireOpts::Emit && opts.lock.empty()) {
+        err = "--check/--update need --lock";
+        return false;
+    }
+    return true;
+}
+
+int
+runWirelint(const WireOpts &opts, std::string &out)
+{
+    const WireSchema schema = extractSchema(opts);
+    if (!schema.errors.empty()) {
+        for (const std::string &e : schema.errors)
+            outf(out, "wirelint: error: %s\n", e.c_str());
+        return 2;
+    }
+    const std::string generated = renderLock(schema);
+    switch (opts.mode) {
+    case WireOpts::Emit:
+        out += generated;
+        return 0;
+    case WireOpts::Update:
+        return updateLock(opts, generated, out);
+    case WireOpts::Check:
+    default:
+        return checkLock(opts, generated, out);
+    }
+}
+
+/**
+ * Fixture self-test. Each case directory holds sources, a SCHEMA.lock,
+ * a CMD file with wirelint arguments (paths relative to the case dir,
+ * no mode flag), and an EXPECT file `<mode> <pass|fail> [substring]`.
+ * Update cases run against a throwaway copy of the lock; if a GOLDEN
+ * file is present the written lock must match it byte-for-byte.
+ */
+int
+wirelintSelfTest(const std::string &dir)
+{
+    const std::vector<fs::path> cases = fixtureCases(dir);
+    if (cases.empty()) {
+        std::fprintf(stderr, "wirelint: no fixture cases under %s\n",
+                     dir.c_str());
+        return 2;
+    }
+    int failures = 0;
+    for (const fs::path &c : cases) {
+        const std::string label = c.filename().string();
+        Expectation exp;
+        std::string err;
+        if (!readExpectation(c, exp, err)) {
+            std::printf("FAIL %s: %s\n", label.c_str(), err.c_str());
+            ++failures;
+            continue;
+        }
+        std::string cmd;
+        if (!lintutil::readFile(c / "CMD", cmd)) {
+            std::printf("FAIL %s: missing CMD file\n", label.c_str());
+            ++failures;
+            continue;
+        }
+        std::vector<std::string> tokens;
+        std::istringstream ts(cmd);
+        std::string tok;
+        while (ts >> tok)
+            tokens.push_back(tok);
+        tokens.push_back(exp.mode == "update" ? "--update" : "--check");
+        WireOpts opts;
+        if (!parseWireArgs(tokens, opts, err)) {
+            std::printf("FAIL %s: bad CMD: %s\n", label.c_str(),
+                        err.c_str());
+            ++failures;
+            continue;
+        }
+        // Resolve CMD-relative paths against the case directory.
+        opts.lock = (c / opts.lock).string();
+        opts.codec = (c / opts.codec).string();
+        for (auto &[name, files] : opts.protos)
+            for (std::string &f : files)
+                f = (c / f).string();
+        fs::path scratch;
+        if (exp.mode == "update") {
+            char tmpl[] = "/tmp/qoslint-wirelint.XXXXXX";
+            if (!mkdtemp(tmpl)) {
+                std::printf("FAIL %s: cannot create scratch dir\n",
+                            label.c_str());
+                ++failures;
+                continue;
+            }
+            scratch = tmpl;
+            std::error_code ec;
+            fs::copy_file(opts.lock, scratch / "SCHEMA.lock",
+                          fs::copy_options::overwrite_existing, ec);
+            opts.lock = (scratch / "SCHEMA.lock").string();
+        }
+        std::string out;
+        const int rc = runWirelint(opts, out);
+        bool ok = (rc == 0) == exp.pass;
+        if (ok && !exp.substring.empty() &&
+            out.find(exp.substring) == std::string::npos)
+            ok = false;
+        if (ok && exp.mode == "update" && exp.pass &&
+            fs::exists(c / "GOLDEN")) {
+            std::string written, golden;
+            lintutil::readFile(opts.lock, written);
+            lintutil::readFile(c / "GOLDEN", golden);
+            if (written != golden) {
+                std::printf(
+                    "FAIL %s: regenerated lock differs from GOLDEN\n",
+                    label.c_str());
+                ok = false;
+            }
+        }
+        if (!scratch.empty()) {
+            std::error_code ec;
+            fs::remove_all(scratch, ec);
+        }
+        if (!ok) {
+            std::string hint;
+            if (!exp.substring.empty())
+                hint = " (or missing substring '" + exp.substring +
+                       "')";
+            std::printf("FAIL %s: expected %s %s, got rc=%d%s\n",
+                        label.c_str(), exp.mode.c_str(),
+                        exp.pass ? "pass" : "fail", rc, hint.c_str());
+            std::fputs(out.c_str(), stdout);
+            ++failures;
+        }
+    }
+    std::printf("qoslint wirelint fixtures: %zu case(s), %d "
+                "failure(s)\n",
+                cases.size(), failures);
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+wirelintMain(const std::vector<std::string> &args)
+{
+    if (args.size() == 2 && args[0] == "--self-test")
+        return wirelintSelfTest(args[1]);
+    WireOpts opts;
+    std::string err;
+    if (!parseWireArgs(args, opts, err)) {
+        std::fprintf(
+            stderr,
+            "qoslint wirelint: %s\nusage: qoslint wirelint "
+            "[--check|--update|--emit] --lock <file> --codec <file> "
+            "--proto <name>=<file>[,<file>...] ...\n       qoslint "
+            "wirelint --self-test <fixture-dir>\n",
+            err.c_str());
+        return 2;
+    }
+    std::string out;
+    const int rc = runWirelint(opts, out);
+    std::fputs(out.c_str(), stdout);
+    return rc;
+}
+
+} // namespace qoslint
