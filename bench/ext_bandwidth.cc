@@ -9,9 +9,11 @@
  * A latency-sensitive mcf holds a 7-way cache reservation while 0-3
  * streaming libquantum jobs hammer the bus. Cache partitioning alone
  * cannot stop them from inflating mcf's miss *latency*; a guaranteed
- * bandwidth share restores it.
+ * bandwidth share restores it. Besides the table it emits a
+ * machine-readable BENCH_bandwidth.json (argv[1] overrides the path).
  */
 
+#include "bench/bench_json.hh"
 #include "bench/harness.hh"
 
 namespace
@@ -51,10 +53,13 @@ runScenario(int hogs, bool partitioned, InstCount instr)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cmpqos;
     using cmpqos::stats::TablePrinter;
+
+    const std::string json_path =
+        bench::benchJsonPath(argc, argv, "bandwidth");
 
     bench::printHeader(
         "Extension: off-chip bandwidth partitioning",
@@ -67,6 +72,10 @@ main()
     t.header({"co-running hogs", "CPI shared bus",
               "CPI with 45% bandwidth share", "slowdown avoided"});
 
+    bench::BenchJson json("ext_bandwidth");
+    json.meta("job_instructions", instr)
+        .meta("subject_ways", 7)
+        .meta("bandwidth_percent", 45);
     for (int hogs = 0; hogs <= 3; ++hogs) {
         const double shared = runScenario(hogs, false, instr);
         const double insulated = runScenario(hogs, true, instr);
@@ -74,8 +83,16 @@ main()
                TablePrinter::fmt(insulated, 2),
                TablePrinter::fmtPercent(
                    (shared / insulated - 1.0) * 100.0, 1)});
+        json.addRow()
+            .i64("hogs", hogs)
+            .f64("cpi_shared", shared, 4)
+            .f64("cpi_insulated", insulated, 4)
+            .f64("slowdown_avoided_percent",
+                 (shared / insulated - 1.0) * 100.0, 1);
     }
     t.print(std::cout);
+    if (!json.write(json_path))
+        return 1;
 
     std::cout
         << "\nCache-only QoS (the paper's framework) leaves the"

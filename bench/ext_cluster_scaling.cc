@@ -17,8 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_json.hh"
 #include "cluster/engine.hh"
-#include "common/build_info.hh"
 
 using namespace cmpqos;
 
@@ -48,7 +48,7 @@ int
 main(int argc, char **argv)
 {
     const std::string json_path =
-        argc > 1 ? argv[1] : "BENCH_cluster_scaling.json";
+        bench::benchJsonPath(argc, argv, "cluster_scaling");
     std::printf("# ext_cluster_scaling: 8 nodes, 96 Poisson jobs, "
                 "seed 42\n");
     std::printf("# hardware concurrency: %u\n\n",
@@ -95,29 +95,12 @@ main(int argc, char **argv)
         rows.push_back({t, m.wallSeconds, m.jobsPerWallSecond()});
     }
 
-    std::FILE *out = std::fopen(json_path.c_str(), "w");
-    if (!out) {
-        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-        return 1;
-    }
-    std::fprintf(out,
-                 "{\n"
-                 "  \"bench\": \"ext_cluster_scaling\",\n"
-                 "  \"git_hash\": \"%s\",\n"
-                 "  \"nodes\": 8,\n"
-                 "  \"jobs\": 96,\n"
-                 "  \"seed\": 42,\n"
-                 "  \"configs\": [\n",
-                 buildInfo().gitHash);
-    for (std::size_t i = 0; i < rows.size(); ++i)
-        std::fprintf(out,
-                     "    {\"threads\": %u, \"wall_seconds\": %.6f, "
-                     "\"jobs_per_second\": %.1f}%s\n",
-                     rows[i].threads, rows[i].wallSeconds,
-                     rows[i].jobsPerSecond,
-                     i + 1 < rows.size() ? "," : "");
-    std::fprintf(out, "  ]\n}\n");
-    std::fclose(out);
-    std::printf("\nwrote %s\n", json_path.c_str());
-    return 0;
+    bench::BenchJson json("ext_cluster_scaling");
+    json.meta("nodes", 8).meta("jobs", 96).meta("seed", 42);
+    for (const Row &r : rows)
+        json.addRow()
+            .u64("threads", r.threads)
+            .f64("wall_seconds", r.wallSeconds, 6)
+            .f64("jobs_per_second", r.jobsPerSecond, 1);
+    return json.write(json_path) ? 0 : 1;
 }

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Extension bench: feedback-controlled colocation vs static
+ * overprovisioning (DESIGN.md §14, ROADMAP item 4).
+ *
+ * A latency-critical Gold tier can be protected two ways. The static
+ * answer overprovisions its reservation (12 of 16 ways) so the worst
+ * quantum still makes the deadline — and starves co-located batch
+ * work at admission. The controlled answer admits Gold at its
+ * measured floor (6 ways) and lets the quantum-barrier controller
+ * grant ways / restore frequency only when measured slack actually
+ * runs low. Three runs on the same 8-node, 96-job arrival stream:
+ *
+ *   static-12way    Gold asks 12 ways, controller off (overprovision)
+ *   static-6way     Gold asks 6 ways, controller off (floor only)
+ *   controlled-6way Gold asks 6 ways, controller on
+ *
+ * The acceptance bar (ISSUE 10): controlled-6way keeps the Gold
+ * deadline hit rate at least at static-12way's level while
+ * completing more batch (Silver + Bronze) jobs. Results go in
+ * EXPERIMENTS.md; a machine-readable BENCH_colocation.json (argv[1]
+ * overrides the path) rides along for CI archiving.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.hh"
+#include "cluster/engine.hh"
+
+using namespace cmpqos;
+
+namespace
+{
+
+constexpr int kNodes = 8;
+constexpr std::uint64_t kJobs = 144;
+constexpr std::uint64_t kSeed = 42;
+
+struct Scenario
+{
+    const char *name;
+    unsigned goldWays;
+    bool controlled;
+};
+
+ArrivalMix
+colocationMix(unsigned gold_ways)
+{
+    ArrivalMix mix = ArrivalMix::defaults();
+    mix.instructions = 2'000'000;
+    mix.tiers[static_cast<std::size_t>(QosTier::Gold)].ways =
+        gold_ways;
+    return mix;
+}
+
+ClusterMetrics
+runScenario(const Scenario &s)
+{
+    ClusterConfig config;
+    config.nodes = kNodes;
+    config.threads = 4;
+    config.seed = kSeed;
+    config.quantum = 2'000'000;
+    config.control.enabled = s.controlled;
+
+    PoissonArrivalProcess arrivals(500'000.0,
+                                   colocationMix(s.goldWays),
+                                   kSeed ^ 0xa11a1ULL, kJobs);
+    ClusterEngine engine(config);
+    return engine.runToCompletion(arrivals);
+}
+
+std::uint64_t
+batchCompleted(const ClusterMetrics &m)
+{
+    const ModeTally &elastic =
+        m.byMode[static_cast<std::size_t>(ExecutionMode::Elastic)];
+    const ModeTally &opportunistic =
+        m.byMode[static_cast<std::size_t>(
+            ExecutionMode::Opportunistic)];
+    return elastic.completed + opportunistic.completed;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string json_path =
+        bench::benchJsonPath(argc, argv, "colocation");
+
+    std::printf("# ext_colocation: %d nodes, %llu Poisson jobs, seed "
+                "%llu; Gold = latency-critical tier\n\n",
+                kNodes, static_cast<unsigned long long>(kJobs),
+                static_cast<unsigned long long>(kSeed));
+    std::printf("%-16s %-6s %-9s %-9s %-10s %-9s %-8s %s\n",
+                "scenario", "ways", "acc/sub", "gold_hit",
+                "batch/Gcyc", "energy", "retunes", "notes");
+
+    const Scenario scenarios[] = {
+        {"static-12way", 12, false},
+        {"static-6way", 6, false},
+        {"controlled-6way", 6, true},
+    };
+
+    // Warm the solo-CPI calibration memo so the first measured run
+    // doesn't pay a one-time cost the later runs skip.
+    (void)runScenario(scenarios[0]);
+
+    bench::BenchJson json("ext_colocation");
+    json.meta("nodes", kNodes).meta("jobs", kJobs).meta("seed", kSeed);
+
+    double static_gold_hit = 0.0;
+    double static_batch_rate = 0.0;
+    int rc = 0;
+    for (const Scenario &s : scenarios) {
+        const ClusterMetrics m = runScenario(s);
+        const ModeTally &strict =
+            m.byMode[static_cast<std::size_t>(ExecutionMode::Strict)];
+        const double gold_hit =
+            strict.hasHitRate() ? strict.hitRate() : 0.0;
+        const std::uint64_t batch = batchCompleted(m);
+        const double batch_rate =
+            m.virtualTime > 0
+                ? 1e9 * static_cast<double>(batch) /
+                      static_cast<double>(m.virtualTime)
+                : 0.0;
+
+        char acc[24];
+        std::snprintf(acc, sizeof(acc), "%llu/%llu",
+                      static_cast<unsigned long long>(m.accepted),
+                      static_cast<unsigned long long>(m.submitted));
+        std::printf("%-16s %-6u %-9s %-9.3f %-10.1f %-9.0f %-8llu "
+                    "%s\n",
+                    s.name, s.goldWays, acc, gold_hit, batch_rate,
+                    m.energy,
+                    static_cast<unsigned long long>(
+                        m.control.retunes),
+                    s.controlled ? "feedback on" : "");
+
+        if (std::string(s.name) == "static-12way") {
+            static_gold_hit = gold_hit;
+            static_batch_rate = batch_rate;
+        }
+        if (s.controlled) {
+            if (gold_hit + 1e-12 < static_gold_hit) {
+                std::printf("UNEXPECTED: controller lost the Gold "
+                            "SLO (%.3f < %.3f)\n",
+                            gold_hit, static_gold_hit);
+                rc = 1;
+            }
+            if (batch_rate <= static_batch_rate) {
+                std::printf("UNEXPECTED: controlled batch throughput "
+                            "%.1f/Gcycle did not beat static "
+                            "%.1f/Gcycle\n",
+                            batch_rate, static_batch_rate);
+                rc = 1;
+            }
+            if (m.control.retunes == 0) {
+                std::printf("UNEXPECTED: the controller never "
+                            "actuated\n");
+                rc = 1;
+            }
+        }
+
+        json.addRow()
+            .str("scenario", s.name)
+            .u64("gold_ways", s.goldWays)
+            .boolean("controlled", s.controlled)
+            .u64("submitted", m.submitted)
+            .u64("accepted", m.accepted)
+            .u64("completed", m.completed)
+            .f64("gold_hit_rate", gold_hit, 4)
+            .u64("batch_completed", batch)
+            .f64("batch_per_gigacycle", batch_rate, 2)
+            .u64("virtual_time", m.virtualTime)
+            .f64("energy", m.energy, 0)
+            .u64("retunes", m.control.retunes)
+            .f64("wall_seconds", m.wallSeconds, 6);
+    }
+    if (!json.write(json_path))
+        rc = 1;
+    return rc;
+}

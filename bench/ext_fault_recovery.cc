@@ -9,12 +9,15 @@
  * random plans of growing density — with the invariant oracle armed.
  * Reports completion/failure accounting, per-mode deadline hit rates
  * among completed jobs, recovery actions (relocations, downgrades)
- * and the oracle's verdict. Results go in EXPERIMENTS.md.
+ * and the oracle's verdict. Results go in EXPERIMENTS.md; a
+ * machine-readable BENCH_fault_recovery.json (argv[1] overrides the
+ * path) rides along for CI archiving.
  */
 
 #include <cstdio>
 #include <string>
 
+#include "bench/bench_json.hh"
 #include "cluster/engine.hh"
 #include "fault/plan.hh"
 
@@ -71,8 +74,10 @@ crashStorm()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_path =
+        cmpqos::bench::benchJsonPath(argc, argv, "fault_recovery");
     std::printf("# ext_fault_recovery: 8 nodes, 96 Poisson jobs, "
                 "seed 42, oracle at every barrier\n\n");
     std::printf("%-16s %-8s %-11s %-7s %-10s %-8s %-8s %-6s %s\n",
@@ -95,6 +100,9 @@ main()
         std::uint64_t ignored = 0;
         (void)runScenario(scenarios[0], &ignored);
     }
+
+    cmpqos::bench::BenchJson json("ext_fault_recovery");
+    json.meta("nodes", 8).meta("jobs", 96).meta("seed", 42);
 
     double base_wall = 0.0;
     int rc = 0;
@@ -150,6 +158,22 @@ main()
                         s.name);
             rc = 1;
         }
+
+        json.addRow()
+            .str("scenario", s.name)
+            .f64("wall_seconds", m.wallSeconds, 6)
+            .u64("accepted", m.accepted)
+            .u64("completed", m.completed)
+            .u64("failed", m.faults.failedJobs)
+            .u64("relocated", m.faults.relocated)
+            .u64("downgraded", m.faults.relocationDowngraded)
+            .f64("strict_hit_rate",
+                 strict.hasHitRate() ? strict.hitRate() : 0.0, 4)
+            .f64("elastic_hit_rate",
+                 elastic.hasHitRate() ? elastic.hitRate() : 0.0, 4)
+            .u64("violations", violations);
     }
+    if (!json.write(json_path))
+        rc = 1;
     return rc;
 }

@@ -16,7 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "common/build_info.hh"
+#include "bench/bench_json.hh"
 #include "federation/federated_engine.hh"
 
 using namespace cmpqos;
@@ -83,7 +83,7 @@ int
 main(int argc, char **argv)
 {
     const std::string json_path =
-        argc > 1 ? argv[1] : "BENCH_federation.json";
+        bench::benchJsonPath(argc, argv, "federation");
 
     std::printf("# ext_federation: %d nodes, %d Poisson jobs, seed "
                 "%llu\n\n",
@@ -125,35 +125,18 @@ main(int argc, char **argv)
                     r.threads, r.transport, r.wallSeconds,
                     r.jobsPerSecond, r.match ? "yes" : "NO");
 
-    std::FILE *out = std::fopen(json_path.c_str(), "w");
-    if (!out) {
-        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    bench::BenchJson json("ext_federation");
+    json.meta("nodes", kNodes).meta("jobs", kJobs).meta("seed", kSeed);
+    for (const Row &r : rows)
+        json.addRow()
+            .i64("shards", r.shards)
+            .u64("threads", r.threads)
+            .str("transport", r.transport)
+            .f64("wall_seconds", r.wallSeconds, 6)
+            .f64("jobs_per_second", r.jobsPerSecond, 1)
+            .boolean("fingerprint_match", r.match);
+    if (!json.write(json_path))
         return 1;
-    }
-    std::fprintf(out,
-                 "{\n"
-                 "  \"bench\": \"ext_federation\",\n"
-                 "  \"git_hash\": \"%s\",\n"
-                 "  \"nodes\": %d,\n"
-                 "  \"jobs\": %d,\n"
-                 "  \"seed\": %llu,\n"
-                 "  \"configs\": [\n",
-                 buildInfo().gitHash, kNodes, kJobs,
-                 static_cast<unsigned long long>(kSeed));
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        const Row &r = rows[i];
-        std::fprintf(out,
-                     "    {\"shards\": %d, \"threads\": %u, "
-                     "\"transport\": \"%s\", \"wall_seconds\": %.6f, "
-                     "\"jobs_per_second\": %.1f, "
-                     "\"fingerprint_match\": %s}%s\n",
-                     r.shards, r.threads, r.transport, r.wallSeconds,
-                     r.jobsPerSecond, r.match ? "true" : "false",
-                     i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(out, "  ]\n}\n");
-    std::fclose(out);
-    std::printf("\nwrote %s\n", json_path.c_str());
 
     if (!ok) {
         std::printf("fingerprint mismatch against the single-process "

@@ -10,13 +10,16 @@
  * PR's acceptance bar: the disabled path stays within ~2% of
  * baseline, and a saturated ring sheds events instead of blocking a
  * worker (the fingerprint must match the baseline in every regime).
- * Results are recorded in EXPERIMENTS.md.
+ * Results are recorded in EXPERIMENTS.md; a machine-readable
+ * BENCH_telemetry_overhead.json (argv[1] overrides the path) rides
+ * along for CI archiving.
  */
 
 #include <algorithm>
 #include <cstdio>
 #include <string>
 
+#include "bench/bench_json.hh"
 #include "cluster/engine.hh"
 #include "telemetry/collector.hh"
 
@@ -87,8 +90,10 @@ runOnce(Regime regime)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string json_path =
+        bench::benchJsonPath(argc, argv, "telemetry_overhead");
     constexpr int kReps = 5;
     std::printf("# ext_telemetry_overhead: 8 nodes, 4 threads, 96 "
                 "Poisson jobs, seed 42, best of %d interleaved\n",
@@ -127,6 +132,9 @@ main()
                 "deterministic");
     const double base_wall = regimes[0].best.wall;
     const std::string base_fp = regimes[0].best.fingerprint;
+    bench::BenchJson json("ext_telemetry_overhead");
+    json.meta("nodes", 8).meta("jobs", 96).meta("seed", 42).meta(
+        "reps", kReps);
     bool ok = true;
     for (const Row &row : regimes) {
         const Result &r = row.best;
@@ -142,7 +150,21 @@ main()
                     static_cast<unsigned long long>(r.events),
                     static_cast<unsigned long long>(r.drops),
                     same ? "yes" : "NO");
+        json.addRow()
+            .str("regime", row.name)
+            .f64("wall_seconds", r.wall, 6)
+            .f64("jobs_per_second", r.jobsPerSec, 1)
+            .f64("delta_percent",
+                 base_wall > 0.0
+                     ? 100.0 * (r.wall - base_wall) / base_wall
+                     : 0.0,
+                 1)
+            .u64("events", r.events)
+            .u64("drops", r.drops)
+            .boolean("deterministic", same);
     }
+    if (!json.write(json_path))
+        return 1;
     if (!ok) {
         std::printf("\ntracing perturbed the simulation!\n");
         return 1;

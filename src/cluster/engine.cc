@@ -35,6 +35,10 @@ ClusterEngine::ClusterEngine(const ClusterConfig &config)
                 config_.telemetry->nodeRecorder(n));
     }
 
+    if (config_.control.enabled)
+        for (auto &node : nodes_)
+            node->enableController(config_.control);
+
     probeSkip_.assign(static_cast<std::size_t>(config_.nodes), 0);
     if (config_.faultPlan != nullptr && !config_.faultPlan->empty()) {
         config_.faultPlan->validate(config_.nodes);
@@ -488,6 +492,16 @@ ClusterEngine::run(ArrivalProcess &arrivals, Cycle horizon, bool drain)
             // the remaining work has no quantum constraint.
             break;
         }
+        // Controller step: after this barrier's placements committed,
+        // before the nodes advance — each controller sees the
+        // reservations just placed and can revert way grants ahead of
+        // any reserved-start headroom check inside the quantum. The
+        // federated shard steps at the same point (start of its
+        // FedAdvance), exactly once per advance, so controller-on
+        // runs stay identical across engines.
+        if (config_.control.enabled)
+            for (auto &node : nodes_)
+                node->controllerStep();
         advanceAll(t, next_q);
         // Quantum barrier: every node is quiescent, so the rings can
         // be emptied into the sinks in producer order.
@@ -558,6 +572,7 @@ ClusterEngine::snapshot() const
     m.acceptedByTier = acceptedByTier_;
     m.wallSeconds = wallSeconds_;
     m.faults = faults_;
+    m.controllerOn = config_.control.enabled;
     if (checker_ != nullptr)
         m.invariantViolations = checker_->totalViolations();
 

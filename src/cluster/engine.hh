@@ -128,6 +128,14 @@ struct ClusterConfig
     /** Optional passive observer (not owned; may be nullptr). Called
      *  on the driver thread only; see EngineObserver. */
     EngineObserver *observer = nullptr;
+    /**
+     * Per-node feedback controller (src/control; disabled by
+     * default). Stepped on the driver thread at every quantum
+     * barrier — after placements, before the nodes advance — so
+     * controller-on runs stay bit-identical at any thread or shard
+     * count.
+     */
+    ControllerConfig control;
 };
 
 /**

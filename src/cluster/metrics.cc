@@ -1,6 +1,7 @@
 #include "metrics.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <ostream>
@@ -77,6 +78,8 @@ MetricsExporter::collectNode(const NodeWorker &worker)
             busy += ledger.cycles;
         }
     }
+    m.energy = worker.energy();
+    m.control = worker.controlTallies();
     const double capacity =
         static_cast<double>(m.virtualTime) *
         static_cast<double>(worker.framework().system().numCores());
@@ -97,6 +100,8 @@ MetricsExporter::aggregate(ClusterMetrics &cluster,
     cluster.stolenWays = 0;
     cluster.byMode = {};
     cluster.faults.failedJobs = 0;
+    cluster.energy = 0.0;
+    cluster.control = ControlTallies();
     for (const auto &n : nodes) {
         cluster.virtualTime = std::max(cluster.virtualTime,
                                        n.virtualTime);
@@ -104,6 +109,8 @@ MetricsExporter::aggregate(ClusterMetrics &cluster,
         cluster.completed += n.completed;
         cluster.stolenWays += n.stolenWays;
         cluster.faults.failedJobs += n.failed;
+        cluster.energy += n.energy;
+        cluster.control.accumulate(n.control);
         for (std::size_t i = 0; i < cluster.byMode.size(); ++i) {
             cluster.byMode[i].completed += n.byMode[i].completed;
             cluster.byMode[i].deadlineHits += n.byMode[i].deadlineHits;
@@ -140,6 +147,15 @@ ClusterMetrics::fingerprint() const
            << ":" << faults.linkDrops << ":" << faults.linkDups << ":"
            << faults.linkDelayCycles << ":" << faults.partitionedQuanta
            << " violations=" << invariantViolations;
+    // Controller fields join the digest only on controller-enabled
+    // runs, with energy fixed to milli-units so the formatting is
+    // platform-stable (same gating idea as the fault fields above).
+    if (controllerOn)
+        os << " energy=" << std::llround(energy * 1e3)
+           << " control=" << control.retunes << ":"
+           << control.freqBoosts << ":" << control.freqDrops << ":"
+           << control.wayGrants << ":" << control.wayReturns << ":"
+           << control.bwGrants << ":" << control.bwReturns;
     for (const auto &n : nodes) {
         os << " n" << n.node << "=" << n.placed << ":" << n.completed
            << ":" << n.inFlight << ":" << n.instructions << ":"
@@ -147,6 +163,9 @@ ClusterMetrics::fingerprint() const
         if (faulty)
             os << ":" << n.failed << ":" << n.restarts << ":"
                << (n.alive ? 1 : 0);
+        if (controllerOn)
+            os << ":" << std::llround(n.energy * 1e3) << ":"
+               << n.control.retunes;
     }
     return os.str();
 }
@@ -197,8 +216,19 @@ MetricsExporter::writeJsonl(const ClusterMetrics &m, std::ostream &os)
        << ",\"link_dups\":" << m.faults.linkDups
        << ",\"link_delay_cycles\":" << m.faults.linkDelayCycles
        << ",\"partitioned_quanta\":" << m.faults.partitionedQuanta
-       << "},\"invariant_violations\":" << m.invariantViolations
-       << ",\"wall_seconds\":" << num(m.wallSeconds)
+       << "},\"invariant_violations\":" << m.invariantViolations;
+    // Controller keys appear only on controller-enabled runs so
+    // controller-off JSONL stays byte-identical to older captures.
+    if (m.controllerOn)
+        os << ",\"controller\":{\"energy\":" << num(m.energy)
+           << ",\"retunes\":" << m.control.retunes
+           << ",\"freq_boosts\":" << m.control.freqBoosts
+           << ",\"freq_drops\":" << m.control.freqDrops
+           << ",\"way_grants\":" << m.control.wayGrants
+           << ",\"way_returns\":" << m.control.wayReturns
+           << ",\"bw_grants\":" << m.control.bwGrants
+           << ",\"bw_returns\":" << m.control.bwReturns << "}";
+    os << ",\"wall_seconds\":" << num(m.wallSeconds)
        << ",\"jobs_per_second\":" << num(m.jobsPerWallSecond()) << "}\n";
 
     for (const auto &n : m.nodes) {
@@ -218,6 +248,9 @@ MetricsExporter::writeJsonl(const ClusterMetrics &m, std::ostream &os)
                << "_completed\":" << n.byMode[i].completed << ",\""
                << modeKey[i]
                << "_deadline_hits\":" << n.byMode[i].deadlineHits;
+        if (m.controllerOn)
+            os << ",\"energy\":" << num(n.energy)
+               << ",\"retunes\":" << n.control.retunes;
         os << "}\n";
     }
 }
@@ -230,6 +263,10 @@ MetricsExporter::writeCsv(const ClusterMetrics &m, std::ostream &os)
     for (const char *key : modeKey)
         os << "," << key << "_completed," << key << "_deadline_hits,"
            << key << "_hit_rate";
+    // Controller columns only exist on controller-enabled runs (the
+    // fixed header above is golden-tested on controller-off output).
+    if (m.controllerOn)
+        os << ",energy,retunes";
     os << "\n";
     for (const auto &n : m.nodes) {
         os << n.node << "," << n.virtualTime << "," << n.placed << ","
@@ -245,6 +282,8 @@ MetricsExporter::writeCsv(const ClusterMetrics &m, std::ostream &os)
             if (tally.hasHitRate())
                 os << num(tally.hitRate());
         }
+        if (m.controllerOn)
+            os << "," << num(n.energy) << "," << n.control.retunes;
         os << "\n";
     }
 }

@@ -75,6 +75,10 @@ struct NodeMetrics
     /** False while the node is crashed at snapshot time. */
     bool alive = true;
     std::array<ModeTally, 3> byMode; // indexed by ExecutionMode
+    /** Modelled energy (0 unless the feedback controller is on). */
+    double energy = 0.0;
+    /** Feedback-controller activity (src/control). */
+    ControlTallies control;
 };
 
 /**
@@ -166,6 +170,14 @@ struct ClusterMetrics
     FaultTallies faults;
     /** Distinct invariant violations the oracle recorded (0 = ok). */
     std::uint64_t invariantViolations = 0;
+
+    // Feedback-controller aggregates (src/control). Like the fault
+    // tallies, they only join the fingerprint and the exports when
+    // the controller ran, so controller-off output is byte-identical
+    // to a build without the control layer.
+    bool controllerOn = false;
+    double energy = 0.0;
+    ControlTallies control;
 
     // Host-side measurement (excluded from the fingerprint).
     double wallSeconds = 0.0;

@@ -24,6 +24,53 @@ NodeWorker::setTrace(TraceRecorder *trace)
 }
 
 void
+NodeWorker::enableController(const ControllerConfig &config)
+{
+    owner_.grant();
+    controllerConfig_ = config;
+    controller_ = config.enabled
+                      ? std::make_unique<NodeController>(config)
+                      : nullptr;
+}
+
+void
+NodeWorker::controllerStep()
+{
+    owner_.grant();
+    if (!alive_ || controller_ == nullptr)
+        return;
+    controller_->step(*framework_, framework_->simulation().now(),
+                      trace_);
+}
+
+ControlTallies
+NodeWorker::controlTallies() const
+{
+    owner_.grant();
+    ControlTallies t = carried_.control;
+    if (controller_ != nullptr)
+        t.accumulate(controller_->tallies());
+    return t;
+}
+
+double
+NodeWorker::energy() const
+{
+    owner_.grant();
+    if (!controllerConfig_.enabled)
+        return 0.0;
+    double dyn_work = carried_.dynWork;
+    if (alive_) {
+        const CmpSystem &sys = framework_->system();
+        for (int c = 0; c < sys.numCores(); ++c)
+            dyn_work += sys.core(c).ledger().dynWork;
+    }
+    return modelledEnergy(controllerConfig_,
+                          static_cast<double>(virtualNow()),
+                          config_.cmp.numCores, dyn_work);
+}
+
+void
 NodeWorker::advanceTo(Cycle t, Cycle stall)
 {
     owner_.grant();
@@ -140,9 +187,14 @@ NodeWorker::crash()
         const CoreLedger &ledger = sys.core(c).ledger();
         carried_.instructions += ledger.instructions;
         carried_.busyCycles += ledger.cycles;
+        carried_.dynWork += ledger.dynWork;
     }
     carried_.virtualTime = fw.simulation().now();
     carried_.failed += report.failedRunning.size();
+    if (controller_ != nullptr) {
+        carried_.control.accumulate(controller_->tallies());
+        controller_.reset();
+    }
     alive_ = false;
     return report;
 }
@@ -162,6 +214,9 @@ NodeWorker::restart(Cycle now)
     if (trace_ != nullptr)
         framework_->setTrace(trace_);
     pendingRequests_.clear();
+    // Fresh incarnation, fresh measurement windows.
+    if (controllerConfig_.enabled)
+        controller_ = std::make_unique<NodeController>(controllerConfig_);
     alive_ = true;
     // Align the fresh clock with the cluster barrier.
     advanceTo(now);

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/annotations.hh"
+#include "control/controller.hh"
 #include "qos/framework.hh"
 
 namespace cmpqos
@@ -47,6 +48,10 @@ struct NodeCarried
     std::uint64_t stolenWays = 0;
     /** Node clock at the (last) crash — frozen while dead. */
     Cycle virtualTime = 0;
+    /** Dynamic-energy work term folded in from retired cores. */
+    double dynWork = 0.0;
+    /** Controller tallies of retired incarnations. */
+    ControlTallies control;
 };
 
 /**
@@ -197,6 +202,37 @@ class NodeWorker
      */
     void setTrace(TraceRecorder *trace);
 
+    /**
+     * Arm the feedback controller (src/control) on this node. Call
+     * before the first quantum; survives crash/restart with fresh
+     * per-incarnation measurement state.
+     */
+    void enableController(const ControllerConfig &config);
+
+    /** Whether the feedback controller is armed. */
+    bool
+    controllerOn() const
+    {
+        owner_.grant();
+        return controllerConfig_.enabled;
+    }
+
+    /**
+     * One controller step at the quantum barrier, before the node
+     * advances. No-op when the controller is off or the node is dead.
+     */
+    void controllerStep();
+
+    /** Controller tallies across all incarnations. */
+    ControlTallies controlTallies() const;
+
+    /**
+     * Modelled energy consumed by this node so far (static + dynamic
+     * across incarnations). 0 when the controller is off — energy
+     * only joins metrics/fingerprints on controller-enabled runs.
+     */
+    double energy() const;
+
   private:
     struct PendingRequest
     {
@@ -225,6 +261,9 @@ class NodeWorker
     NodeCarried carried_ CMPQOS_GUARDED_BY(owner_);
     /** Requests of in-flight jobs, for crash-time relocation. */
     std::unordered_map<JobId, PendingRequest> pendingRequests_
+        CMPQOS_GUARDED_BY(owner_);
+    ControllerConfig controllerConfig_;
+    std::unique_ptr<NodeController> controller_
         CMPQOS_GUARDED_BY(owner_);
 };
 

@@ -1,0 +1,153 @@
+#include "config.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cmpqos
+{
+
+namespace
+{
+
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+bool
+parseDouble(std::string_view v, double &out)
+{
+    const std::string s(v);
+    char *end = nullptr;
+    out = std::strtod(s.c_str(), &end);
+    return end != nullptr && *end == '\0' && !s.empty();
+}
+
+bool
+parseUnsigned(std::string_view v, unsigned long long &out)
+{
+    const std::string s(v);
+    char *end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 10);
+    return end != nullptr && *end == '\0' && !s.empty();
+}
+
+} // namespace
+
+std::string
+formatControllerSpec(const ControllerConfig &config)
+{
+    if (!config.enabled)
+        return "";
+    std::string s;
+    s += "on=1";
+    s += ",slack_low=" + fmtDouble(config.slackLow);
+    s += ",slack_high=" + fmtDouble(config.slackHigh);
+    s += ",dynamic_slo=" + std::string(config.dynamicSlo ? "1" : "0");
+    s += ",slo_slowdown=" + fmtDouble(config.sloSlowdown);
+    s += ",bw_step=" + std::to_string(config.bandwidthStep);
+    s += ",min_window=" + std::to_string(config.minWindowInstructions);
+    s += ",p_static=" + fmtDouble(config.staticPower);
+    s += ",dyn_coeff=" + fmtDouble(config.dynCoeff);
+    s += ",power_cap=" + fmtDouble(config.powerCap);
+    return s;
+}
+
+bool
+parseControllerSpec(std::string_view spec, ControllerConfig &out,
+                    std::string &error)
+{
+    // All-or-nothing: parse into a fresh config, commit on success
+    // only, so a failed reconfig directive leaves @p out untouched.
+    ControllerConfig next;
+    if (spec.empty()) {
+        out = next;
+        return true;
+    }
+    // Bare "on"/"off" are accepted as human-friendly shorthands.
+    if (spec == "off") {
+        out = next;
+        return true;
+    }
+    if (spec == "on") {
+        next.enabled = true;
+        out = next;
+        return true;
+    }
+    next.enabled = true; // a non-empty spec implies the controller
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string_view::npos)
+            comma = spec.size();
+        const std::string_view pair = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (pair.empty())
+            continue;
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string_view::npos) {
+            error = "controller spec entry has no '=': " +
+                    std::string(pair);
+            return false;
+        }
+        const std::string_view key = pair.substr(0, eq);
+        const std::string_view value = pair.substr(eq + 1);
+        double d = 0.0;
+        unsigned long long u = 0;
+        if (key == "on") {
+            if (!parseUnsigned(value, u))
+                goto bad_value;
+            next.enabled = u != 0;
+        } else if (key == "slack_low") {
+            if (!parseDouble(value, d))
+                goto bad_value;
+            next.slackLow = d;
+        } else if (key == "slack_high") {
+            if (!parseDouble(value, d))
+                goto bad_value;
+            next.slackHigh = d;
+        } else if (key == "dynamic_slo") {
+            if (!parseUnsigned(value, u))
+                goto bad_value;
+            next.dynamicSlo = u != 0;
+        } else if (key == "slo_slowdown") {
+            if (!parseDouble(value, d))
+                goto bad_value;
+            next.sloSlowdown = d;
+        } else if (key == "bw_step") {
+            if (!parseUnsigned(value, u) || u > 100)
+                goto bad_value;
+            next.bandwidthStep = static_cast<unsigned>(u);
+        } else if (key == "min_window") {
+            if (!parseUnsigned(value, u))
+                goto bad_value;
+            next.minWindowInstructions = static_cast<InstCount>(u);
+        } else if (key == "p_static") {
+            if (!parseDouble(value, d))
+                goto bad_value;
+            next.staticPower = d;
+        } else if (key == "dyn_coeff") {
+            if (!parseDouble(value, d))
+                goto bad_value;
+            next.dynCoeff = d;
+        } else if (key == "power_cap") {
+            if (!parseDouble(value, d))
+                goto bad_value;
+            next.powerCap = d;
+        } else {
+            error = "unknown controller spec key: " + std::string(key);
+            return false;
+        }
+        continue;
+    bad_value:
+        error = "bad controller spec value: " + std::string(pair);
+        return false;
+    }
+    out = next;
+    return true;
+}
+
+} // namespace cmpqos

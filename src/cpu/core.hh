@@ -18,6 +18,7 @@
 #include "cache/config.hh"
 #include "common/types.hh"
 #include "cpu/cpi_model.hh"
+#include "cpu/dvfs.hh"
 
 namespace cmpqos
 {
@@ -31,6 +32,15 @@ struct CoreLedger
     std::uint64_t l2Misses = 0;
     /** Cycles the core sat idle (no job scheduled). */
     double idleCycles = 0.0;
+    /**
+     * Accumulated dynamic-energy work term: sum over execution
+     * windows of f^2 * scalable_cycles. With core time scaling as
+     * scalable_cycles / f, dynamic energy C*f^3*T_core reduces to
+     * C * f^2 * scalable_cycles — so this parameter-free integral
+     * turns into joules only at reporting time, and stays exactly
+     * 0-cost-identical when every window runs at f == 1.0.
+     */
+    double dynWork = 0.0;
 
     double
     ipc() const
@@ -75,11 +85,26 @@ class InOrderCore
 
     void resetLedger() { ledger_ = CoreLedger(); }
 
+    /** Current DVFS step (0 = nominal); see cpu/dvfs.hh. */
+    std::uint32_t frequencyStep() const { return freqStep_; }
+
+    /** Clock multiplier for the current step (1.0 at nominal). */
+    double frequencyScale() const { return freqScale_; }
+
+    void
+    setFrequencyStep(std::uint32_t step)
+    {
+        freqStep_ = dvfsStepValid(step) ? step : 0;
+        freqScale_ = dvfsScale(freqStep_);
+    }
+
   private:
     CoreId id_;
     std::unique_ptr<SetAssocCache> l1_;
     CoreLedger ledger_;
     double localTime_ = 0.0;
+    std::uint32_t freqStep_ = 0;
+    double freqScale_ = 1.0;
 };
 
 } // namespace cmpqos

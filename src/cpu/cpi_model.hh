@@ -56,6 +56,32 @@ class AdditiveCpiModel
                tm * static_cast<double>(l2_misses);
     }
 
+    /**
+     * Frequency-aware variant: only the core-bound CPI_L1inf term
+     * scales with the core clock; L2 and memory penalties are
+     * expressed in reference cycles and do not stretch. At
+     * @p frequency == 1.0 the division is an IEEE-754 identity, so
+     * nominal-frequency results are bit-identical to the two-term
+     * overload above.
+     */
+    static double
+    cycles(const CpiParams &params, InstCount instructions,
+           std::uint64_t l2_accesses, std::uint64_t l2_misses, double tm,
+           double frequency)
+    {
+        return params.cpiL1Inf * static_cast<double>(instructions) /
+                   frequency +
+               params.t2 * static_cast<double>(l2_accesses) +
+               tm * static_cast<double>(l2_misses);
+    }
+
+    /** The core-bound (frequency-scalable) cycle share of a window. */
+    static double
+    scalableCycles(const CpiParams &params, InstCount instructions)
+    {
+        return params.cpiL1Inf * static_cast<double>(instructions);
+    }
+
     /** CPI over a window (cycles / instructions). */
     static double
     cpi(const CpiParams &params, InstCount instructions,

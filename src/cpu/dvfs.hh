@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The per-core DVFS step table. Step 0 is the nominal (maximum)
+ * frequency; higher steps divide the core clock, stretching only the
+ * CPI_L1inf term of the additive model — L2 and memory latencies are
+ * clocked independently, which is the whole reason frequency scaling
+ * trades energy for core-bound time without touching memory time
+ * (Nejat et al., coordinated DVFS + cache partitioning).
+ *
+ * The table is a compile-time constant so a frequency step index is
+ * the only state that ever crosses a wire or enters a fingerprint:
+ * every endpoint derives the same multiplier from the same step.
+ */
+
+#ifndef CMPQOS_CPU_DVFS_HH
+#define CMPQOS_CPU_DVFS_HH
+
+#include <cstdint>
+
+namespace cmpqos
+{
+
+/** Frequency multipliers relative to nominal, indexed by step. */
+inline constexpr double dvfsFrequencyScale[] = {1.0, 0.9, 0.8, 0.7,
+                                                0.6};
+
+inline constexpr std::uint32_t numDvfsSteps =
+    sizeof(dvfsFrequencyScale) / sizeof(dvfsFrequencyScale[0]);
+
+/** True when @p step indexes a valid table entry. */
+constexpr bool
+dvfsStepValid(std::uint32_t step)
+{
+    return step < numDvfsSteps;
+}
+
+/** Multiplier for @p step; out-of-range steps clamp to nominal. */
+constexpr double
+dvfsScale(std::uint32_t step)
+{
+    return dvfsStepValid(step) ? dvfsFrequencyScale[step] : 1.0;
+}
+
+} // namespace cmpqos
+
+#endif // CMPQOS_CPU_DVFS_HH

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "cpu/dvfs.hh"
 
 namespace cmpqos
 {
@@ -218,6 +219,51 @@ InvariantChecker::checkDeadlines(NodeId node, const QosFramework &fw,
 }
 
 void
+InvariantChecker::checkFrequencies(NodeId node, const QosFramework &fw,
+                                   Cycle now)
+{
+    for (int c = 0; c < fw.system().numCores(); ++c) {
+        const std::uint32_t step = fw.system().core(c).frequencyStep();
+        if (!dvfsStepValid(step)) {
+            std::ostringstream os;
+            os << "core " << c << " at DVFS step " << step
+               << ", table has " << numDvfsSteps << " steps";
+            record("frequency-bounds", node, now,
+                   "core" + std::to_string(c), os.str());
+        }
+    }
+}
+
+void
+InvariantChecker::checkBandwidthFloors(NodeId node,
+                                       const QosFramework &fw,
+                                       Cycle now)
+{
+    const BandwidthRegulator *bw = fw.system().bandwidth();
+    if (bw == nullptr)
+        return; // bandwidth partitioning off: nothing to floor
+    const Scheduler &sched = fw.scheduler();
+    for (int c = 0; c < fw.system().numCores(); ++c) {
+        const JobId occupant = sched.reservedOccupant(c);
+        if (occupant == invalidJob)
+            continue;
+        const Job *job = jobById(fw, occupant);
+        if (job == nullptr || !job->runsReservedNow())
+            continue;
+        const unsigned share = bw->share(c);
+        const unsigned floor = job->target().bandwidthPercent;
+        if (share < floor) {
+            std::ostringstream os;
+            os << executionModeName(job->mode().mode) << " job "
+               << job->id() << " on core " << c << " holds " << share
+               << "% bandwidth, admission granted " << floor << "%";
+            record("bandwidth-floor", node, now,
+                   "job" + std::to_string(job->id()), os.str());
+        }
+    }
+}
+
+void
 InvariantChecker::checkNode(NodeId node, const QosFramework &fw,
                             Cycle now)
 {
@@ -228,6 +274,8 @@ InvariantChecker::checkNode(NodeId node, const QosFramework &fw,
     checkStealReturns(node, fw, now);
     checkReservations(node, fw, now);
     checkDeadlines(node, fw, now);
+    checkFrequencies(node, fw, now);
+    checkBandwidthFloors(node, fw, now);
 }
 
 std::string

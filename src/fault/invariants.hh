@@ -20,7 +20,13 @@
  *  5. deadline — every *completed* Strict/Elastic job met its
  *     (possibly renegotiated) deadline. Jobs lost to a crash never
  *     reach Completed, so the crash exemption is structural: they are
- *     reported through the failed-job tallies instead.
+ *     reported through the failed-job tallies instead;
+ *  6. frequency-bounds — every core's DVFS step indexes the frequency
+ *     table (src/cpu/dvfs.hh), so the feedback controller can never
+ *     leave a core at an undefined operating point;
+ *  7. bandwidth-floor — a reserved running job's regulator share
+ *     never drops below the bandwidth percentage admission granted
+ *     it, however the controller retunes the pool.
  *
  * Every check is side-effect-free on the simulation (probe-style
  * reads only), so enabling the checker cannot perturb determinism —
@@ -50,7 +56,8 @@ namespace cmpqos
 struct InvariantViolation
 {
     /** Invariant key: "way-conservation", "strict-partition",
-     *  "steal-return", "reservation-capacity", "deadline". */
+     *  "steal-return", "reservation-capacity", "deadline",
+     *  "frequency-bounds", "bandwidth-floor". */
     std::string invariant;
     NodeId node = -1;
     Cycle time = 0;
@@ -119,6 +126,10 @@ class InvariantChecker
                            Cycle now) CMPQOS_REQUIRES(driver_);
     void checkDeadlines(NodeId node, const QosFramework &fw,
                         Cycle now) CMPQOS_REQUIRES(driver_);
+    void checkFrequencies(NodeId node, const QosFramework &fw,
+                          Cycle now) CMPQOS_REQUIRES(driver_);
+    void checkBandwidthFloors(NodeId node, const QosFramework &fw,
+                              Cycle now) CMPQOS_REQUIRES(driver_);
 
     /** Single-owner protocol: the oracle runs on the driver thread at
      *  quantum barriers, over quiescent nodes. Public entry points

@@ -11,6 +11,8 @@
 
 #include "common/logging.hh"
 #include "common/random.hh"
+#include "control/config.hh"
+#include "control/controller.hh"
 
 namespace cmpqos
 {
@@ -115,6 +117,7 @@ FederatedEngine::FederatedEngine(const ClusterConfig &config,
         init.nodeSeeds.assign(
             seeds.begin() + shard->nodeBegin,
             seeds.begin() + shard->nodeBegin + shard->nodeCount);
+        init.control = formatControllerSpec(config_.control);
         sendPlain(*shard, init);
     }
     for (auto &shard : shards_) {
@@ -874,6 +877,7 @@ FederatedEngine::snapshot()
     m.wallSeconds = wallSeconds_;
     m.faults = faults_;
     m.invariantViolations = invariantViolations();
+    m.controllerOn = config_.control.enabled;
 
     std::vector<NodeMetrics> per_node;
     per_node.reserve(static_cast<std::size_t>(config_.nodes));
@@ -906,6 +910,15 @@ FederatedEngine::snapshot()
                 nm.byMode[i].completed = w.modeTallies[2 * i];
                 nm.byMode[i].deadlineHits = w.modeTallies[2 * i + 1];
             }
+            nm.energy = w.energy;
+            cmpqos_assert(w.controlTallies.empty() ||
+                              w.controlTallies.size() ==
+                                  ControlTallies::numFields,
+                          "shard %d node %d shipped %zu control tallies",
+                          shard->index, w.node,
+                          w.controlTallies.size());
+            if (!w.controlTallies.empty())
+                nm.control = unflattenTallies(w.controlTallies);
             per_node.push_back(nm);
         }
     }

@@ -63,6 +63,8 @@ visitFields(WireNodeMetrics &m, V &v)
     v.u64("restarts", m.restarts);
     v.u8("alive", m.alive);
     v.u64vec("mode_tallies", m.modeTallies);
+    v.f64("energy", m.energy);
+    v.u64vec("control_tallies", m.controlTallies);
 }
 
 template <typename V>
@@ -81,6 +83,7 @@ visitFields(FedInit &m, V &v)
     v.u64("ring_capacity", m.ringCapacity);
     v.u8("check_invariants", m.checkInvariants);
     v.u64vec("node_seeds", m.nodeSeeds);
+    v.str("control", m.control);
 }
 
 template <typename V>

@@ -43,7 +43,7 @@ namespace cmpqos
  * has the procedure). FedInit carries it so a version-skewed shard is
  * rejected at handshake instead of desyncing mid-epoch.
  */
-constexpr std::uint32_t fedProtocolVersion = 1;
+constexpr std::uint32_t fedProtocolVersion = 2;
 
 /** Wire form of a JobRequest plus the job length. */
 struct WireJobRequest
@@ -96,6 +96,10 @@ struct WireNodeMetrics
     std::uint8_t alive = 1;
     /** completed/deadlineHits per ExecutionMode, flattened. */
     std::vector<std::uint64_t> modeTallies;
+    /** Modelled energy (0 unless the feedback controller is on). */
+    double energy = 0.0;
+    /** ControlTallies flattened via flattenTallies (control layer). */
+    std::vector<std::uint64_t> controlTallies;
 };
 
 // --- coordinator -> shard ------------------------------------------
@@ -119,6 +123,9 @@ struct FedInit
      *  cluster seed — the same SplitMix expansion at any shard count,
      *  so node streams are shard-count-invariant. */
     std::vector<std::uint64_t> nodeSeeds;
+    /** Canonical feedback-controller spec (formatControllerSpec);
+     *  empty = controller disabled. */
+    std::string control;
 };
 
 /** Probe round: ask every local LAC whether it would accept. */

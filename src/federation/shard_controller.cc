@@ -4,6 +4,8 @@
 
 #include "cluster/metrics.hh"
 #include "common/logging.hh"
+#include "control/config.hh"
+#include "control/controller.hh"
 #include "qos/admission.hh"
 
 namespace cmpqos
@@ -153,6 +155,13 @@ ShardController::onInit(const FedInit &m)
     if (m.checkInvariants != 0)
         checker_ = std::make_unique<InvariantChecker>();
 
+    ControllerConfig control;
+    if (!m.control.empty()) {
+        std::string parse_error;
+        if (!parseControllerSpec(m.control, control, parse_error))
+            return FedError{"bad controller spec: " + parse_error};
+    }
+
     // Node ids and seeds are global: the coordinator derives every
     // node's seed from the cluster seed and ships this shard's slice,
     // so each node's RNG stream is identical at any shard count.
@@ -164,6 +173,8 @@ ShardController::onInit(const FedInit &m)
             m.nodeSeeds[static_cast<std::size_t>(local)]);
         if (collector_ != nullptr)
             worker->setTrace(collector_->nodeRecorder(local));
+        if (control.enabled)
+            worker->enableController(control);
         nodes_.push_back(std::move(worker));
     }
     return FedReady{m.shardIndex};
@@ -243,6 +254,13 @@ ShardController::onAdvance(const FedAdvance &m)
     if (!m.stalls.empty() && m.stalls.size() != nodes_.size())
         return FedError{"advance stall vector size mismatch"};
 
+    // Feedback controllers step on this (shard-driver) thread before
+    // the nodes advance — the same placement-then-advance ordering the
+    // single-process engine uses, and exactly once per FedAdvance, so
+    // controller-on runs stay bit-identical at any shard count.
+    for (auto &node : nodes_)
+        node->controllerStep();
+
     pool_->parallelFor(nodes_.size(), [this, &m](std::size_t i) {
         NodeWorker &node = *nodes_[i];
         if (!node.alive())
@@ -314,6 +332,8 @@ ShardController::onSnapshot()
             w.modeTallies.push_back(tally.completed);
             w.modeTallies.push_back(tally.deadlineHits);
         }
+        w.energy = nm.energy;
+        w.controlTallies = flattenTallies(nm.control);
         reply.nodes.push_back(std::move(w));
     }
     return reply;

@@ -161,6 +161,13 @@ calibratedSoloCpi(const std::string &benchmark, unsigned ways,
 
 } // namespace
 
+double
+QosFramework::soloCpi(const std::string &benchmark, unsigned ways,
+                      const CmpConfig &cmp)
+{
+    return calibratedSoloCpi(benchmark, ways, cmp);
+}
+
 Cycle
 QosFramework::maxWallClockFor(const JobRequest &request,
                               InstCount instructions) const

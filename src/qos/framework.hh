@@ -200,6 +200,15 @@ class QosFramework
                           InstCount instructions) const;
 
     /**
+     * Memoized standalone CPI of @p benchmark on a @p ways-way
+     * partition under @p cmp — the measurement the feedback
+     * controller (src/control) derives dynamic SLO setpoints from,
+     * and the same calibration maxWallClockFor() builds tw on.
+     */
+    static double soloCpi(const std::string &benchmark, unsigned ways,
+                          const CmpConfig &cmp);
+
+    /**
      * Admission probe without side effects: would this node accept
      * the request right now, and with what slot? Used by multi-node
      * placement (CmpServer / GAC).

@@ -114,11 +114,17 @@ applyEpochDirective(EpochConfig &c, std::string_view key,
         if (!parseBool(value, b))
             return bad("want 0/1");
         c.checkInvariants = b;
+    } else if (key == "control") {
+        ControllerConfig control;
+        std::string spec_err;
+        if (!parseControllerSpec(std::string(value), control, spec_err))
+            return bad(spec_err.c_str());
+        c.control = control;
     } else {
         err = "unknown directive '" + std::string(key) +
               "' (want nodes, quantum, seed, policy, negotiate, "
-              "elastic-x, arrival-gap, instructions or "
-              "check-invariants)";
+              "elastic-x, arrival-gap, instructions, "
+              "check-invariants or control)";
         return false;
     }
     return true;
@@ -181,6 +187,11 @@ formatEpochConfig(const EpochConfig &c)
     s += " instructions=" + std::to_string(c.instructions);
     s += " check-invariants=";
     s += c.checkInvariants ? "1" : "0";
+    // The spec is comma-separated (one word), so it fits the
+    // whitespace-split grammar; disabled stays absent to keep
+    // pre-controller journals replayable byte-for-byte.
+    if (c.control.enabled)
+        s += " control=" + formatControllerSpec(c.control);
     return s;
 }
 
@@ -205,6 +216,7 @@ epochClusterConfig(const EpochConfig &c, unsigned threads)
     cluster.negotiate = c.negotiate;
     cluster.seed = c.seed;
     cluster.checkInvariants = c.checkInvariants;
+    cluster.control = c.control;
     return cluster;
 }
 
@@ -226,6 +238,8 @@ replayCommand(const EpochConfig &c, const std::string &journal_path)
     s += " --instructions " + std::to_string(c.instructions);
     if (c.checkInvariants)
         s += " --check-invariants";
+    if (c.control.enabled)
+        s += " --control " + formatControllerSpec(c.control);
     s += " --fingerprint";
     return s;
 }

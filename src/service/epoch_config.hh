@@ -19,6 +19,7 @@
 #include <string_view>
 
 #include "cluster/engine.hh"
+#include "control/config.hh"
 
 namespace cmpqos
 {
@@ -41,14 +42,18 @@ struct EpochConfig
     InstCount instructions = 2'000'000;
     /** Run the invariant oracle at every quantum barrier. */
     bool checkInvariants = true;
+    /** Per-node feedback controller (src/control); off by default. */
+    ControllerConfig control;
 };
 
 /**
  * Apply one `key=value` directive to @p c. Keys: nodes, quantum,
  * seed, policy, negotiate, elastic-x, arrival-gap, instructions,
- * check-invariants. Values are validated (nodes >= 1, quantum > 0,
- * elastic-x in [0,1], ...); on failure @p err names the problem and
- * @p c is unchanged.
+ * check-invariants, control. Values are validated (nodes >= 1,
+ * quantum > 0, elastic-x in [0,1], ...); on failure @p err names the
+ * problem and @p c is unchanged. The control value is a comma-
+ * separated controller spec (parseControllerSpec) — one shell word,
+ * so it survives the whitespace-split directive grammar.
  */
 bool applyEpochDirective(EpochConfig &c, std::string_view key,
                          std::string_view value, std::string &err);

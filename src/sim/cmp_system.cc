@@ -164,12 +164,17 @@ CmpSystem::advance(CoreId core_id, InstCount max_instr)
 
     // Charge cycles via the additive model with the current
     // bandwidth-dependent miss penalty: this core's own entitlement
-    // if a share is programmed, else the shared pool.
+    // if a share is programmed, else the shared pool. Only the
+    // core-bound term stretches under DVFS; at nominal frequency
+    // (scale 1.0) the division is exact and the result is
+    // bit-identical to the unscaled model.
     const double tm =
         bandwidth_->missPenalty(core_id, job->memPriority);
+    const CpiParams params =
+        job->cpiParams(static_cast<double>(config_.l2.hitLatency));
+    const double f = cpu.frequencyScale();
     const double cycles = AdditiveCpiModel::cycles(
-        job->cpiParams(static_cast<double>(config_.l2.hitLatency)), n,
-        l2_accesses, l2_misses, tm);
+        params, n, l2_accesses, l2_misses, tm, f);
 
     // Report bus traffic (miss fills + dirty writebacks).
     const std::uint64_t bytes =
@@ -189,6 +194,8 @@ CmpSystem::advance(CoreId core_id, InstCount max_instr)
     cpu.ledger().cycles += cycles;
     cpu.ledger().l2Accesses += l2_accesses;
     cpu.ledger().l2Misses += l2_misses;
+    cpu.ledger().dynWork +=
+        f * f * AdditiveCpiModel::scalableCycles(params, n);
     cpu.advanceTime(cycles);
 
     result.instructions = n;

@@ -45,6 +45,8 @@ const TypeRow rows[numTraceEventTypes] = {
     {"quantum-stalled", {"target", "stall_cycles", nullptr, nullptr}},
     {"job-failed", {"target_node", "local_job", nullptr, "cause"}},
     {"job-relocated", {"from_node", "to_node", nullptr, "outcome"}},
+    {"controller-retune", {"old_value", "new_value", "slack", "knob"}},
+    {"frequency-changed", {"core", "new_step", "old_step", nullptr}},
 };
 
 } // namespace

@@ -81,9 +81,15 @@ enum class TraceEventType : std::uint16_t
     /** Crash reconciliation moved a job from node `a` to node `b`
      *  (name: "re-admitted", "negotiated" or "downgraded"). */
     JobRelocated,
+    /** Feedback controller retuned one knob for a job (name: knob
+     *  with direction — "freq+", "ways-", ...; a: old value, b: new
+     *  value, x: measured slack that drove the decision). */
+    ControllerRetune,
+    /** A core's DVFS step changed (a: core, b: new step, x: old). */
+    FrequencyChanged,
 };
 
-constexpr std::size_t numTraceEventTypes = 25;
+constexpr std::size_t numTraceEventTypes = 27;
 
 /** Kebab-case wire name of an event type ("way-stolen", ...). */
 const char *traceEventName(TraceEventType t);

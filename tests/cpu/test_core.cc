@@ -64,5 +64,32 @@ TEST(InOrderCore, ResetLedgerKeepsTime)
     EXPECT_DOUBLE_EQ(core.localTime(), 10.0);
 }
 
+TEST(InOrderCore, FrequencyStepTableAndClamp)
+{
+    InOrderCore core(0);
+    EXPECT_EQ(core.frequencyStep(), 0u);
+    EXPECT_DOUBLE_EQ(core.frequencyScale(), 1.0);
+    core.setFrequencyStep(2);
+    EXPECT_EQ(core.frequencyStep(), 2u);
+    EXPECT_DOUBLE_EQ(core.frequencyScale(), dvfsFrequencyScale[2]);
+    // Out-of-table steps clamp to nominal instead of leaving the
+    // core at an undefined operating point.
+    core.setFrequencyStep(numDvfsSteps + 5);
+    EXPECT_EQ(core.frequencyStep(), 0u);
+    EXPECT_DOUBLE_EQ(core.frequencyScale(), 1.0);
+}
+
+TEST(InOrderCore, DvfsTableIsMonotonicFromNominal)
+{
+    // Step 0 is nominal (fastest); each later step is strictly
+    // slower — the controller's "step up = slower" arithmetic and the
+    // frequency-bounds invariant both assume this shape.
+    EXPECT_DOUBLE_EQ(dvfsFrequencyScale[0], 1.0);
+    for (std::uint32_t s = 1; s < numDvfsSteps; ++s)
+        EXPECT_LT(dvfsFrequencyScale[s], dvfsFrequencyScale[s - 1])
+            << "step " << s;
+    EXPECT_DOUBLE_EQ(dvfsScale(numDvfsSteps), 1.0); // clamp
+}
+
 } // namespace
 } // namespace cmpqos

@@ -78,5 +78,36 @@ TEST(AdditiveCpiModel, PaperRatioRange)
     EXPECT_LT(ratio, 0.75);
 }
 
+TEST(AdditiveCpiModel, NominalFrequencyIsIdentity)
+{
+    // The DVFS overload at f = 1.0 must be bit-identical to the
+    // frequency-free form (x / 1.0 == x in IEEE-754), so a disabled
+    // controller cannot perturb a single cycle count.
+    CpiParams p{0.8, 10.0};
+    const double base =
+        AdditiveCpiModel::cycles(p, 1'000'000, 27'500, 5'500, 300.0);
+    const double nominal = AdditiveCpiModel::cycles(
+        p, 1'000'000, 27'500, 5'500, 300.0, 1.0);
+    EXPECT_EQ(base, nominal);
+}
+
+TEST(AdditiveCpiModel, FrequencyScalesCoreTimeOnly)
+{
+    // Down-clocking stretches the compute component by 1/f and leaves
+    // the memory components (L2 hit + miss time) untouched — memory
+    // runs on its own clock.
+    CpiParams p{1.0, 12.0};
+    const InstCount n = 1'000'000;
+    const double compute = AdditiveCpiModel::scalableCycles(p, n);
+    const double total =
+        AdditiveCpiModel::cycles(p, n, 30'000, 6'000, 300.0);
+    const double memory = total - compute;
+    const double f = 0.8;
+    const double scaled =
+        AdditiveCpiModel::cycles(p, n, 30'000, 6'000, 300.0, f);
+    EXPECT_DOUBLE_EQ(scaled, compute / f + memory);
+    EXPECT_GT(scaled, total);
+}
+
 } // namespace
 } // namespace cmpqos

@@ -167,5 +167,48 @@ TEST(EpochConfig, ReplayCommandNamesEveryDeterminant)
     EXPECT_EQ(cmd2.find("--check-invariants"), std::string::npos);
 }
 
+TEST(EpochConfig, ControlDirectiveRoundTrips)
+{
+    EpochConfig c;
+    std::string err;
+    // The comma-separated spec is one whitespace-free token, so it
+    // survives the directive grammar's split-on-whitespace and the
+    // split-on-first-'=' (the value itself contains '=').
+    ASSERT_TRUE(applyEpochDirectives(
+        c, "control=slack_low=0.1,power_cap=4.5", err))
+        << err;
+    EXPECT_TRUE(c.control.enabled);
+    EXPECT_EQ(c.control.slackLow, 0.1);
+    EXPECT_EQ(c.control.powerCap, 4.5);
+
+    // The formatted config re-parses to the same controller state.
+    const std::string text = formatEpochConfig(c);
+    EXPECT_NE(text.find("control="), std::string::npos) << text;
+    EpochConfig back;
+    ASSERT_TRUE(applyEpochDirectives(back, text, err)) << err;
+    EXPECT_EQ(formatEpochConfig(back), text);
+    EXPECT_EQ(back.control.powerCap, 4.5);
+
+    // Controller-off configs format exactly as before the control
+    // layer existed (journal headers stay byte-stable).
+    EXPECT_EQ(formatEpochConfig(EpochConfig{}).find("control"),
+              std::string::npos);
+
+    // Bad specs are rejected all-or-nothing with a named error.
+    EpochConfig untouched;
+    EXPECT_FALSE(
+        applyEpochDirectives(untouched, "control=volts=9", err));
+    EXPECT_FALSE(untouched.control.enabled);
+
+    // The replay command ships the spec; the cluster config takes it.
+    const std::string cmd = replayCommand(c, "j.trace");
+    EXPECT_NE(cmd.find("--control on=1,slack_low=0.1"),
+              std::string::npos)
+        << cmd;
+    const ClusterConfig cluster = epochClusterConfig(c, 2);
+    EXPECT_TRUE(cluster.control.enabled);
+    EXPECT_EQ(cluster.control.powerCap, 4.5);
+}
+
 } // namespace
 } // namespace cmpqos

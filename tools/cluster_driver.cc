@@ -22,6 +22,7 @@
 #include "cluster/engine.hh"
 #include "common/build_info.hh"
 #include "common/logging.hh"
+#include "control/config.hh"
 #include "fault/plan.hh"
 #include "federation/federated_engine.hh"
 #include "telemetry/collector.hh"
@@ -73,6 +74,12 @@ usage(const char *argv0, std::FILE *out)
         "                         (default 0.05)\n"
         "  --check-invariants     run the invariant oracle at every quantum\n"
         "                         barrier; exit 2 on any violation\n"
+        "  --control SPEC         enable the per-node feedback controller;\n"
+        "                         SPEC is a comma-separated key=value run\n"
+        "                         (on, slack_low, slack_high, dynamic_slo,\n"
+        "                         slo_slowdown, bw_step, min_window,\n"
+        "                         p_static, dyn_coeff, power_cap) or just\n"
+        "                         'on' for the defaults\n"
         "  --fingerprint          print the canonical metrics fingerprint\n"
         "                         (for replay verification)\n"
         "  --version              print the build identity and exit\n",
@@ -180,6 +187,11 @@ main(int argc, char **argv)
                 cmpqos_fatal("--elastic-x wants a fraction in [0, 1]");
         } else if (arg == "--check-invariants") {
             config.checkInvariants = true;
+        } else if (arg == "--control") {
+            std::string spec_err;
+            if (!parseControllerSpec(value(i), config.control,
+                                     spec_err))
+                cmpqos_fatal("--control: %s", spec_err.c_str());
         } else if (arg == "--fingerprint") {
             print_fingerprint = true;
         } else {
@@ -353,6 +365,26 @@ main(int argc, char **argv)
                         m.faults.linkDelayCycles),
                     static_cast<unsigned long long>(
                         m.faults.partitionedQuanta));
+
+    if (m.controllerOn)
+        std::printf("%-26s %llu retunes (%llu freq+, %llu freq-, "
+                    "%llu way+, %llu way-, %llu bw+, %llu bw-), "
+                    "energy %.1f\n",
+                    "controller",
+                    static_cast<unsigned long long>(m.control.retunes),
+                    static_cast<unsigned long long>(
+                        m.control.freqBoosts),
+                    static_cast<unsigned long long>(
+                        m.control.freqDrops),
+                    static_cast<unsigned long long>(
+                        m.control.wayGrants),
+                    static_cast<unsigned long long>(
+                        m.control.wayReturns),
+                    static_cast<unsigned long long>(
+                        m.control.bwGrants),
+                    static_cast<unsigned long long>(
+                        m.control.bwReturns),
+                    m.energy);
 
     if (print_fingerprint)
         std::printf("fingerprint %s\n", m.fingerprint().c_str());

@@ -16,6 +16,7 @@
  *   telemetry_dump trace.jsonl --job 17      # one arrival's timeline
  *   telemetry_dump trace.jsonl --steals      # steal/cancel histories
  *   telemetry_dump trace.jsonl --rejections  # rejection reasons
+ *   telemetry_dump trace.jsonl --controller  # per-job retune timeline
  */
 
 #include <algorithm>
@@ -357,10 +358,47 @@ printFaults(const Capture &cap)
 }
 
 void
+printController(const Capture &cap)
+{
+    auto isControl = [](TraceEventType t) {
+        return t == TraceEventType::ControllerRetune ||
+               t == TraceEventType::FrequencyChanged;
+    };
+    std::map<std::string, std::size_t> byKnob;
+    std::size_t total = 0;
+    for (const auto &r : cap.events) {
+        if (!isControl(r.type))
+            continue;
+        ++total;
+        if (r.type == TraceEventType::ControllerRetune)
+            ++byKnob[r.field("knob")];
+    }
+    std::printf("%zu controller events\n", total);
+    for (const auto &[knob, count] : byKnob)
+        std::printf("  %6zu  %s\n", count, knob.c_str());
+
+    // Per-job retune timelines, in (node, local job) order. Frequency
+    // residue resets carry job=-1 and are listed per node at the end.
+    for (const auto &[key, indices] : cap.byNodeJob) {
+        std::vector<std::size_t> relevant;
+        for (const std::size_t idx : indices)
+            if (isControl(cap.events[idx].type))
+                relevant.push_back(idx);
+        if (relevant.empty())
+            continue;
+        std::printf("node %lld, job %lld:\n", key.first, key.second);
+        for (const std::size_t idx : relevant)
+            printEvent(cap.events[idx]);
+    }
+    if (total == 0)
+        std::printf("no controller activity in capture\n");
+}
+
+void
 usage(const char *argv0)
 {
     std::printf("usage: %s TRACE.jsonl [--jobs | --job SEQ | --steals "
-                "| --rejections | --faults]\n",
+                "| --rejections | --faults | --controller]\n",
                 argv0);
 }
 
@@ -392,6 +430,8 @@ main(int argc, char **argv)
             mode = "rejections";
         } else if (arg == "--faults") {
             mode = "faults";
+        } else if (arg == "--controller") {
+            mode = "controller";
         } else if (path.empty()) {
             path = arg;
         } else {
@@ -418,6 +458,8 @@ main(int argc, char **argv)
         printRejections(cap);
     } else if (mode == "faults") {
         printFaults(cap);
+    } else if (mode == "controller") {
+        printController(cap);
     }
     return 0;
 }
